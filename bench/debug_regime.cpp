@@ -1,0 +1,38 @@
+// Scratch diagnostic (not a paper figure): prints the full metric breakdown
+// per (app, mode) at the Fig. 8 operating point, for calibration work.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace qrdtm;
+using namespace qrdtm::bench;
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "bank";
+  double ratio = argc > 2 ? std::atof(argv[2]) : 0.2;
+  for (core::NestingMode mode : paper_modes()) {
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.mode = mode;
+    cfg.params.read_ratio = ratio;
+    cfg.params.nested_calls = argc > 4 ? std::atoi(argv[4]) : 3;
+    cfg.params.num_objects = argc > 3 ? std::atoi(argv[3]) : default_objects(app);
+    cfg.duration = sim::sec(120);
+    cfg.clients = argc > 5 ? std::atoi(argv[5]) : 8;
+    if (const char* bo = std::getenv("QRDTM_CT_BACKOFF_MS")) cfg.ct_retry_backoff = sim::msec(std::atof(bo));
+    if (const char* rc = std::getenv("QRDTM_RESTORE_MS")) cfg.chk_restore_cost = sim::msec(std::atof(rc));
+    if (const char* cc2 = std::getenv("QRDTM_PEROBJ_US")) cfg.chk_create_cost_per_obj = sim::usec(std::atof(cc2));
+    cfg.seed = 42;
+    auto r = run_experiment(cfg);
+    std::printf(
+        "%-14s tput=%7.1f commits=%6lu root_ab=%5lu ct_ab=%5lu proll=%5lu "
+        "chks=%6lu vote_ab=%5lu rqv_fail=%5lu rd_msg=%7lu cm_msg=%7lu ab/c=%.2f msg/c=%.1f ok=%d\n",
+        mode_label(mode), r.throughput, (unsigned long)r.commits,
+        (unsigned long)r.root_aborts, (unsigned long)r.ct_aborts,
+        (unsigned long)r.partial_rollbacks, (unsigned long)r.checkpoints, (unsigned long)r.vote_aborts,
+        (unsigned long)r.validation_failures,
+        (unsigned long)r.read_messages, (unsigned long)r.commit_messages,
+        r.abort_rate(), r.messages_per_commit(), r.invariants_ok ? 1 : 0);
+  }
+  return 0;
+}

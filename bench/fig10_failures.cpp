@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 10: QR-DTM throughput under increasing node
+// failures for Hashmap, BST and Vacation.
+//
+// Setup mirrors the paper: 28 nodes; initially every node is assigned a
+// read quorum of a single node; each failure grows the read quorum by one
+// (FlatFailureAwareProvider).  Paper shape: throughput first *rises* with a
+// few failures (the single-node read quorum is a service hotspot; larger
+// rotated quorums spread the load) and then degrades gracefully as quorum
+// fan-out dominates.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace qrdtm;
+using namespace qrdtm::bench;
+
+int main() {
+  std::printf(
+      "Fig. 10 reproduction: throughput under node failures\n"
+      "28 nodes, failure-aware flat quorums (|RQ| = failures + 1)\n");
+
+  const std::vector<std::string> apps = {"hashmap", "bst", "vacation"};
+  const std::uint32_t kNodes = 28;
+
+  std::vector<ExperimentConfig> configs;
+  for (std::uint32_t failures = 0; failures <= 8; ++failures) {
+    for (const std::string& app : apps) {
+      ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.mode = core::NestingMode::kClosed;
+      cfg.quorum = core::QuorumKind::kFlatFailureAware;
+      cfg.num_nodes = kNodes;
+      cfg.failures = failures;
+      cfg.clients = 40;  // saturating client population on survivors
+      cfg.params.read_ratio = 0.8;
+      cfg.params.nested_calls = 3;
+      cfg.params.num_objects = 4 * default_objects(app);
+      // The hotspot effect needs a realistic per-message service time on
+      // the single shared read-quorum node (request processing incl. the
+      // group-communication stack on the paper's 1.9 GHz Opterons).
+      cfg.service_time = sim::msec(2);
+      cfg.duration = std::min(point_duration(), sim::sec(120));
+      cfg.seed = 47;
+      configs.push_back(cfg);
+    }
+  }
+  auto results = run_sweep(configs);
+
+  print_header("Fig 10", "failed   hashmap       bst   vacation");
+  for (std::uint32_t failures = 0; failures <= 8; ++failures) {
+    const auto* row = &results[failures * apps.size()];
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      warn_if_corrupt(row[a], apps[a]);
+    }
+    std::printf("%6u %s %s %s\n", failures, fmt(row[0].throughput).c_str(),
+                fmt(row[1].throughput).c_str(),
+                fmt(row[2].throughput, 10).c_str());
+  }
+  std::printf(
+      "\npaper reference: throughput rises for the first few failures "
+      "(load-balancing\nacross the grown read quorum), then degrades "
+      "gracefully beyond ~4 failures.\n");
+  return 0;
+}

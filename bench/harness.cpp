@@ -1,0 +1,138 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace qrdtm::bench {
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  core::ClusterConfig cc;
+  cc.num_nodes = cfg.num_nodes;
+  cc.seed = cfg.seed;
+  cc.runtime.mode = cfg.mode;
+  cc.runtime.chk_threshold = cfg.chk_threshold;
+  cc.runtime.chk_create_cost = cfg.chk_create_cost;
+  cc.runtime.chk_create_cost_per_obj = cfg.chk_create_cost_per_obj;
+  cc.runtime.chk_restore_cost = cfg.chk_restore_cost;
+  cc.runtime.ct_retry_backoff = cfg.ct_retry_backoff;
+  cc.quorum = cfg.quorum;
+  cc.tree_read_level = cfg.tree_read_level;
+  if (cfg.link_latency != 0) cc.link_latency = cfg.link_latency;
+  if (cfg.service_time != 0) cc.service_time = cfg.service_time;
+
+  core::Cluster cluster(cc);
+
+  // Fig. 10: fail-stop nodes before the workload starts; clients run on
+  // survivors only.
+  std::vector<net::NodeId> alive;
+  for (net::NodeId n = 0; n < cfg.num_nodes; ++n) alive.push_back(n);
+  for (std::uint32_t f = 0; f < cfg.failures; ++f) {
+    // Kill from the high end so node 0 (tree root / checker host) survives.
+    net::NodeId victim = static_cast<net::NodeId>(cfg.num_nodes - 1 - f);
+    cluster.kill_node(victim);
+    alive.pop_back();
+  }
+  QRDTM_CHECK(!alive.empty());
+
+  auto app = apps::make_app(cfg.app);
+  Rng setup_rng(cfg.seed * 7919 + 13);
+  apps::WorkloadParams params = cfg.params;
+  app->setup(cluster, params, setup_rng);
+
+  for (std::uint32_t i = 0; i < cfg.clients; ++i) {
+    net::NodeId node = alive[i % alive.size()];
+    cluster.spawn_loop_client(node, [&app, params](Rng& rng) {
+      return app->make_txn(params, rng);
+    });
+  }
+
+  cluster.run_for(cfg.duration);
+
+  ExperimentResult res;
+  res.commits = cluster.metrics().commits;
+  res.root_aborts = cluster.metrics().root_aborts;
+  res.ct_aborts = cluster.metrics().ct_aborts;
+  res.partial_rollbacks = cluster.metrics().partial_rollbacks;
+  res.checkpoints = cluster.metrics().checkpoints_created;
+  res.vote_aborts = cluster.metrics().vote_aborts;
+  res.validation_failures = cluster.metrics().validation_failures;
+  res.read_messages = cluster.metrics().read_messages;
+  res.commit_messages = cluster.metrics().commit_messages;
+  res.throughput = cluster.metrics().throughput(cluster.duration());
+
+  // Quiesce and verify the structure's integrity invariants: a protocol
+  // bug that corrupts a data structure must fail the benchmark loudly.
+  cluster.run_to_completion();
+  bool ok = false;
+  cluster.spawn_client(alive[0], app->make_checker(&ok));
+  cluster.run_to_completion();
+  res.invariants_ok = ok;
+  return res;
+}
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<ExperimentResult> results(configs.size());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned workers =
+      std::min<unsigned>(hw, static_cast<unsigned>(configs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results[i] = run_experiment(configs[i]);
+    }
+    return results;
+  }
+  std::mutex mu;
+  std::size_t next = 0;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        std::size_t idx;
+        {
+          std::scoped_lock lock(mu);
+          if (next >= configs.size()) return;
+          idx = next++;
+        }
+        results[idx] = run_experiment(configs[idx]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+std::vector<core::NestingMode> paper_modes() {
+  return {core::NestingMode::kFlat, core::NestingMode::kClosed,
+          core::NestingMode::kCheckpoint};
+}
+
+std::vector<std::string> paper_apps() {
+  return {"bank", "hashmap", "slist", "rbtree", "vacation"};
+}
+
+std::uint32_t default_objects(const std::string& app) {
+  if (app == "bank") return 64;       // moderate account contention
+  if (app == "hashmap") return 96;    // 8 buckets -> ~12-entry chains
+  if (app == "slist") return 128;     // long search paths
+  if (app == "rbtree") return 128;
+  if (app == "bst") return 128;
+  if (app == "vacation") return 24;   // hot resources per table
+  return 64;
+}
+
+void print_header(const std::string& title, const std::string& columns) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+std::string fmt(double v, int width, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+  return buf;
+}
+
+}  // namespace qrdtm::bench

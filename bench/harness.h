@@ -1,0 +1,105 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// One experiment point = one deterministic simulation: build a cluster,
+// seed the app, run closed-loop clients for a fixed simulated duration,
+// then drain in-flight transactions and verify the app's integrity
+// invariants.  Sweeps fan points out over a thread pool (one Simulator per
+// point; nothing is shared between threads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "core/cluster.h"
+
+namespace qrdtm::bench {
+
+struct ExperimentConfig {
+  std::string app = "bank";
+  core::NestingMode mode = core::NestingMode::kFlat;
+  apps::WorkloadParams params;
+
+  std::uint32_t num_nodes = 13;
+  std::uint32_t clients = 8;  // closed-loop clients, spread over nodes
+  std::uint64_t seed = 1;
+  sim::Tick duration = sim::sec(60);
+
+  core::QuorumKind quorum = core::QuorumKind::kTree;
+  std::uint32_t tree_read_level = 1;
+  std::uint32_t failures = 0;  // nodes killed before the run (Fig. 10)
+
+  /// QR-CHK knobs (ignored by other modes); defaults from RuntimeConfig.
+  std::uint32_t chk_threshold = 1;
+  sim::Tick chk_create_cost = core::RuntimeConfig{}.chk_create_cost;
+  sim::Tick chk_create_cost_per_obj =
+      core::RuntimeConfig{}.chk_create_cost_per_obj;
+  sim::Tick chk_restore_cost = core::RuntimeConfig{}.chk_restore_cost;
+
+  /// Closed-nesting retry pause (default from RuntimeConfig).
+  sim::Tick ct_retry_backoff = core::RuntimeConfig{}.ct_retry_backoff;
+
+  /// Network overrides (0 = ClusterConfig defaults).
+  sim::Tick link_latency = 0;
+  sim::Tick service_time = 0;
+};
+
+struct ExperimentResult {
+  double throughput = 0;  // committed root transactions / simulated second
+  std::uint64_t commits = 0;
+  std::uint64_t root_aborts = 0;
+  std::uint64_t ct_aborts = 0;
+  std::uint64_t partial_rollbacks = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t vote_aborts = 0;
+  std::uint64_t validation_failures = 0;
+  std::uint64_t read_messages = 0;
+  std::uint64_t commit_messages = 0;
+  bool invariants_ok = false;
+
+  std::uint64_t total_aborts() const {
+    return root_aborts + ct_aborts + partial_rollbacks;
+  }
+  std::uint64_t total_messages() const {
+    return read_messages + commit_messages;
+  }
+  /// Aborts per commit.
+  double abort_rate() const {
+    return commits ? static_cast<double>(total_aborts()) /
+                         static_cast<double>(commits)
+                   : 0.0;
+  }
+  /// Messages per commit (normalising message counts across modes whose
+  /// runs commit different transaction counts in the same duration).
+  double messages_per_commit() const {
+    return commits ? static_cast<double>(total_messages()) /
+                         static_cast<double>(commits)
+                   : 0.0;
+  }
+};
+
+/// Run one experiment point (deterministic in cfg.seed).
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Run every point, parallelising across hardware threads; results are in
+/// input order regardless of scheduling.
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs);
+
+/// The three execution models in the paper's reporting order.
+std::vector<core::NestingMode> paper_modes();
+
+/// Fig. 5-8 benchmark list (bst is Fig. 10 only).
+std::vector<std::string> paper_apps();
+
+/// Default population per app, tuned so the default client count generates
+/// the paper's "moderate to high contention" regime.
+std::uint32_t default_objects(const std::string& app);
+
+/// Pretty-print helpers shared by the figure binaries.
+void print_header(const std::string& title, const std::string& columns);
+std::string fmt(double v, int width = 9, int precision = 1);
+
+}  // namespace qrdtm::bench

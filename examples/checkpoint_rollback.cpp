@@ -1,0 +1,116 @@
+// Checkpointing demo (QR-CHK, paper §IV): a long transaction reads a chain
+// of objects, a conflicting writer invalidates one in the middle, and the
+// transaction rolls back to the checkpoint holding the last valid prefix
+// instead of restarting from scratch.
+//
+// Prints the checkpoint count, the rollback target, and the remote-read
+// savings versus a flat restart.
+#include <cstdio>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/cluster.h"
+
+using namespace qrdtm;
+using core::Cluster;
+using core::ClusterConfig;
+using core::ObjectId;
+using core::Txn;
+
+namespace {
+
+Bytes enc_i64(std::int64_t v) {
+  Writer w;
+  w.i64(v);
+  return std::move(w).take();
+}
+
+std::int64_t dec_i64(const Bytes& b) {
+  Reader r(b);
+  return r.i64();
+}
+
+struct RunStats {
+  std::uint64_t remote_reads;
+  std::uint64_t full_aborts;
+  std::uint64_t partial_rollbacks;
+  std::int64_t total;
+};
+
+RunStats run(core::NestingMode mode) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 13;
+  cfg.runtime.mode = mode;
+  cfg.runtime.chk_threshold = 2;  // checkpoint every 2 objects
+  cfg.runtime.chk_create_cost = 0;
+  cfg.runtime.chk_create_cost_per_obj = 0;
+  cfg.runtime.chk_restore_cost = 0;
+  cfg.seed = 12;
+  Cluster cluster(cfg);
+
+  constexpr int kChain = 10;
+  std::vector<ObjectId> chain;
+  for (int i = 0; i < kChain; ++i) {
+    chain.push_back(cluster.seed_new_object(enc_i64(i)));
+  }
+
+  std::int64_t total = 0;
+  std::uint64_t checkpoints = 0;
+  cluster.spawn_client(1, [&, chain](Txn& t) -> sim::Task<void> {
+    total = 0;
+    for (ObjectId o : chain) {
+      total += dec_i64(co_await t.read(o));
+      co_await t.compute(sim::msec(40));  // per-object processing
+    }
+    checkpoints = t.checkpoints_taken();
+  });
+
+  // A conflicting writer bumps object #7 while the reader is around
+  // object #8-9: under QR-CHK the reader rolls back to the checkpoint that
+  // still holds objects 0..6; under flat it restarts entirely.
+  cluster.simulator().schedule_at(sim::msec(560), [&cluster, &chain] {
+    for (net::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+      cluster.server(n).store().apply(chain[7], 2, enc_i64(700));
+    }
+  });
+
+  cluster.run_to_completion();
+  return RunStats{cluster.metrics().remote_reads,
+                  cluster.metrics().root_aborts,
+                  cluster.metrics().partial_rollbacks, total};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "QR-CHK demo: 10-object chain scan, conflicting write on object #7\n\n");
+  RunStats flat = run(core::NestingMode::kFlat);
+  RunStats chk = run(core::NestingMode::kCheckpoint);
+
+  std::printf(
+      "flat       : %llu remote reads, %llu full aborts (restart rereads "
+      "everything)\n",
+      static_cast<unsigned long long>(flat.remote_reads),
+      static_cast<unsigned long long>(flat.full_aborts));
+  std::printf(
+      "checkpoint : %llu remote reads, %llu partial rollbacks, %llu full "
+      "aborts\n",
+      static_cast<unsigned long long>(chk.remote_reads),
+      static_cast<unsigned long long>(chk.partial_rollbacks),
+      static_cast<unsigned long long>(chk.full_aborts));
+  std::printf(
+      "\nthe rollback kept the validated prefix: only the invalidated suffix "
+      "was re-read\n(flat saw the stale #7 and was aborted by commit-time "
+      "validation).\n");
+  std::printf("totals observed: flat=%lld chk=%lld (both must include the "
+              "fresh value 700)\n",
+              static_cast<long long>(flat.total),
+              static_cast<long long>(chk.total));
+
+  const std::int64_t expected = 0 + 1 + 2 + 3 + 4 + 5 + 6 + 700 + 8 + 9;
+  return (flat.total == expected && chk.total == expected &&
+          chk.remote_reads < flat.remote_reads && chk.partial_rollbacks >= 1)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,30 @@
+// Bank (monetary) macro-benchmark, after the application in HyFlow's
+// distributed Bank workload (paper §VI-B).
+//
+// State: `num_objects` account objects, each an i64 balance.
+// Operations (one per closed-nested call):
+//   * transfer  -- move a fixed amount between two distinct random accounts
+//     (read_for_write both, write both);
+//   * audit     -- read two random accounts (read-only).
+// Invariant: the sum of all balances equals the seeded total.
+#pragma once
+
+#include "apps/app.h"
+
+namespace qrdtm::apps {
+
+class BankApp final : public App {
+ public:
+  std::string name() const override { return "bank"; }
+  void setup(Cluster& cluster, const WorkloadParams& params,
+             Rng& rng) override;
+  TxnBody make_txn(const WorkloadParams& params, Rng& rng) override;
+  TxnBody make_checker(bool* ok) override;
+
+  static constexpr std::int64_t kInitialBalance = 1000;
+
+ private:
+  std::vector<ObjectId> accounts_;
+};
+
+}  // namespace qrdtm::apps

@@ -1,0 +1,39 @@
+// Distributed (unbalanced) Binary Search Tree micro-benchmark.
+//
+// Used by the paper's failure experiment (Fig. 10).  Every tree node is one
+// DTM object; a root-holder object anchors the tree.  Deletion is lazy (a
+// tombstone flag) -- the standard TM-benchmark formulation that keeps
+// structural writes to insert-only, as physical BST deletion would serialise
+// whole-subtree rewrites.
+#pragma once
+
+#include "apps/app.h"
+
+namespace qrdtm::apps {
+
+class BstApp final : public App {
+ public:
+  std::string name() const override { return "bst"; }
+  void setup(Cluster& cluster, const WorkloadParams& params,
+             Rng& rng) override;
+  TxnBody make_txn(const WorkloadParams& params, Rng& rng) override;
+  TxnBody make_checker(bool* ok) override;
+
+  enum class OpKind { kGet, kInsert, kRemove };
+  static sim::Task<void> run_op(Txn& ct, ObjectId root_holder, OpKind kind,
+                                std::uint64_t key, std::int64_t value,
+                                sim::Tick compute);
+
+  /// Single-operation transaction bodies (tests and examples).
+  TxnBody make_op(OpKind kind, std::uint64_t key, std::int64_t value);
+  TxnBody make_lookup(std::uint64_t key, std::int64_t* value, bool* found);
+
+  std::uint64_t key_space() const { return key_space_; }
+  ObjectId root_holder() const { return root_holder_; }
+
+ private:
+  std::uint64_t key_space_ = 0;
+  ObjectId root_holder_ = store::kNullObject;
+};
+
+}  // namespace qrdtm::apps

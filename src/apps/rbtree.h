@@ -1,0 +1,42 @@
+// Distributed Red-Black Tree micro-benchmark (paper §VI-C).
+//
+// Every tree node is one DTM object {key, value, color, left, right,
+// parent, deleted}; a root-holder object anchors the tree.  Insertion is
+// the full CLRS algorithm -- recolouring and rotations write every touched
+// node, which concentrates write contention near the tree's upper levels.
+// Deletion is lazy (tombstone), the standard TM-benchmark formulation.
+//
+// Operation-local reads/writes go through a node cache so each object is
+// fetched at most once per operation and written exactly once at the end.
+#pragma once
+
+#include "apps/app.h"
+
+namespace qrdtm::apps {
+
+class RbTreeApp final : public App {
+ public:
+  std::string name() const override { return "rbtree"; }
+  void setup(Cluster& cluster, const WorkloadParams& params,
+             Rng& rng) override;
+  TxnBody make_txn(const WorkloadParams& params, Rng& rng) override;
+  TxnBody make_checker(bool* ok) override;
+
+  enum class OpKind { kGet, kInsert, kRemove };
+  static sim::Task<void> run_op(Txn& ct, ObjectId root_holder, OpKind kind,
+                                std::uint64_t key, std::int64_t value,
+                                sim::Tick compute);
+
+  /// Single-operation transaction bodies (tests and examples).
+  TxnBody make_op(OpKind kind, std::uint64_t key, std::int64_t value);
+  TxnBody make_lookup(std::uint64_t key, std::int64_t* value, bool* found);
+
+  std::uint64_t key_space() const { return key_space_; }
+  ObjectId root_holder() const { return root_holder_; }
+
+ private:
+  std::uint64_t key_space_ = 0;
+  ObjectId root_holder_ = store::kNullObject;
+};
+
+}  // namespace qrdtm::apps

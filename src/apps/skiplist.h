@@ -1,0 +1,45 @@
+// Distributed SkipList (SList) micro-benchmark (paper §VI-C).
+//
+// Every tower (node) is one DTM object holding its key, value, height, and
+// per-level successor ids; a sentinel head object holds the top-level entry
+// pointers.  A search reads every node on the search path, so transactions
+// get long read-sets -- the paper singles SList out as the benchmark with
+// the longest transactions and the largest closed-nesting gains (+101 %).
+//
+// Tower heights are a deterministic function of the key (p = 1/2), keeping
+// retried/replayed bodies deterministic without carrying RNG state.
+#pragma once
+
+#include "apps/app.h"
+
+namespace qrdtm::apps {
+
+class SkipListApp final : public App {
+ public:
+  std::string name() const override { return "slist"; }
+  void setup(Cluster& cluster, const WorkloadParams& params,
+             Rng& rng) override;
+  TxnBody make_txn(const WorkloadParams& params, Rng& rng) override;
+  TxnBody make_checker(bool* ok) override;
+
+  static constexpr std::uint32_t kMaxLevel = 12;
+  static std::uint32_t height_of(std::uint64_t key);
+
+  enum class OpKind { kGet, kInsert, kRemove };
+  static sim::Task<void> run_op(Txn& ct, ObjectId head, OpKind kind,
+                                std::uint64_t key, std::int64_t value,
+                                sim::Tick compute);
+
+  /// Single-operation transaction bodies (tests and examples).
+  TxnBody make_op(OpKind kind, std::uint64_t key, std::int64_t value);
+  TxnBody make_lookup(std::uint64_t key, std::int64_t* value, bool* found);
+
+  std::uint64_t key_space() const { return key_space_; }
+  ObjectId head() const { return head_; }
+
+ private:
+  std::uint64_t key_space_ = 0;
+  ObjectId head_ = store::kNullObject;
+};
+
+}  // namespace qrdtm::apps

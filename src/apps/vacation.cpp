@@ -1,0 +1,206 @@
+#include "apps/vacation.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "common/serde.h"
+
+namespace qrdtm::apps {
+
+namespace {
+
+struct Resource {
+  std::uint32_t total = 0;
+  std::uint32_t avail = 0;
+  std::int64_t price = 0;
+};
+
+Bytes enc_resource(const Resource& r) {
+  Writer w;
+  w.u32(r.total);
+  w.u32(r.avail);
+  w.i64(r.price);
+  return std::move(w).take();
+}
+
+Resource dec_resource(const Bytes& b) {
+  Reader r(b);
+  Resource res;
+  res.total = r.u32();
+  res.avail = r.u32();
+  res.price = r.i64();
+  return res;
+}
+
+struct Reservation {
+  std::uint8_t table = 0;
+  std::uint32_t index = 0;
+};
+
+Bytes enc_customer(const std::vector<Reservation>& rs) {
+  Writer w;
+  encode_vec(w, rs, [](Writer& w2, const Reservation& r) {
+    w2.u8(r.table);
+    w2.u32(r.index);
+  });
+  return std::move(w).take();
+}
+
+std::vector<Reservation> dec_customer(const Bytes& b) {
+  Reader r(b);
+  return decode_vec<Reservation>(r, [](Reader& r2) {
+    Reservation res;
+    res.table = r2.u8();
+    res.index = r2.u32();
+    return res;
+  });
+}
+
+enum class OpKind : std::uint8_t { kQuery, kReserve, kCancel };
+
+}  // namespace
+
+void VacationApp::setup(Cluster& cluster, const WorkloadParams& params,
+                        Rng& rng) {
+  QRDTM_CHECK(params.num_objects >= kCandidates);
+  per_table_ = params.num_objects;
+  tables_.assign(kTables, {});
+  for (std::uint32_t t = 0; t < kTables; ++t) {
+    tables_[t].reserve(per_table_);
+    for (std::uint32_t i = 0; i < per_table_; ++i) {
+      Resource r;
+      r.total = static_cast<std::uint32_t>(rng.range(5, 10));
+      r.avail = r.total;
+      r.price = rng.range(50, 500);
+      tables_[t].push_back(cluster.seed_new_object(enc_resource(r)));
+    }
+  }
+  customers_.clear();
+  customers_.reserve(params.num_objects);
+  for (std::uint32_t i = 0; i < params.num_objects; ++i) {
+    customers_.push_back(cluster.seed_new_object(enc_customer({})));
+  }
+}
+
+TxnBody VacationApp::make_txn(const WorkloadParams& params, Rng& rng) {
+  struct Op {
+    OpKind kind;
+    std::uint8_t table;
+    std::uint32_t customer;
+    std::array<std::uint32_t, kCandidates> candidates;
+  };
+  std::vector<Op> plan;
+  plan.reserve(params.nested_calls);
+  const std::uint32_t customer =
+      static_cast<std::uint32_t>(rng.below(customers_.size()));
+  for (std::uint32_t i = 0; i < params.nested_calls; ++i) {
+    Op op;
+    op.customer = customer;  // one itinerary per root transaction
+    op.table = static_cast<std::uint8_t>(i % kTables);
+    if (rng.chance(params.read_ratio)) {
+      op.kind = OpKind::kQuery;
+    } else {
+      op.kind = rng.chance(0.8) ? OpKind::kReserve : OpKind::kCancel;
+    }
+    for (auto& cand : op.candidates) {
+      cand = static_cast<std::uint32_t>(rng.below(per_table_));
+    }
+    plan.push_back(op);
+  }
+  const auto tables = tables_;  // shared table ids (cheap copies of vectors)
+  const auto customers = customers_;
+  const sim::Tick compute = params.op_compute;
+
+  return [plan = std::move(plan), tables, customers,
+          compute](Txn& t) -> sim::Task<void> {
+    for (const Op& op : plan) {
+      co_await t.nested([&](Txn& ct) -> sim::Task<void> {
+        const auto& table = tables[op.table];
+        switch (op.kind) {
+          case OpKind::kQuery: {
+            for (std::uint32_t idx : op.candidates) {
+              (void)dec_resource(co_await ct.read(table[idx]));
+            }
+            co_await ct.compute(compute);
+            break;
+          }
+          case OpKind::kReserve: {
+            // Query candidates, pick the cheapest available.
+            std::int64_t best_price = 0;
+            std::uint32_t best_idx = 0;
+            bool have = false;
+            for (std::uint32_t idx : op.candidates) {
+              Resource r = dec_resource(co_await ct.read(table[idx]));
+              if (r.avail > 0 && (!have || r.price < best_price)) {
+                have = true;
+                best_price = r.price;
+                best_idx = idx;
+              }
+            }
+            co_await ct.compute(compute);
+            if (!have) break;  // sold out: no write
+            Resource r =
+                dec_resource(co_await ct.read_for_write(table[best_idx]));
+            if (r.avail == 0) break;  // raced within our own data-set
+            r.avail -= 1;
+            ct.write(table[best_idx], enc_resource(r));
+            auto res = dec_customer(
+                co_await ct.read_for_write(customers[op.customer]));
+            res.push_back(Reservation{op.table, best_idx});
+            ct.write(customers[op.customer], enc_customer(res));
+            break;
+          }
+          case OpKind::kCancel: {
+            auto res = dec_customer(
+                co_await ct.read_for_write(customers[op.customer]));
+            co_await ct.compute(compute);
+            // Cancel the most recent reservation in this table, if any.
+            auto it = std::find_if(
+                res.rbegin(), res.rend(),
+                [&](const Reservation& r) { return r.table == op.table; });
+            if (it == res.rend()) break;
+            const std::uint32_t idx = it->index;
+            res.erase(std::next(it).base());
+            ct.write(customers[op.customer], enc_customer(res));
+            Resource r = dec_resource(co_await ct.read_for_write(table[idx]));
+            r.avail += 1;
+            ct.write(table[idx], enc_resource(r));
+            break;
+          }
+        }
+      });
+    }
+  };
+}
+
+TxnBody VacationApp::make_checker(bool* ok) {
+  const auto tables = tables_;
+  const auto customers = customers_;
+  return [tables, customers, ok](Txn& t) -> sim::Task<void> {
+    *ok = true;
+    // Count reservations per resource across all customers.
+    std::vector<std::vector<std::uint32_t>> reserved(tables.size());
+    for (std::size_t tb = 0; tb < tables.size(); ++tb) {
+      reserved[tb].assign(tables[tb].size(), 0);
+    }
+    for (ObjectId cust : customers) {
+      for (const Reservation& r : dec_customer(co_await t.read(cust))) {
+        if (r.table >= tables.size() || r.index >= reserved[r.table].size()) {
+          *ok = false;
+          co_return;
+        }
+        ++reserved[r.table][r.index];
+      }
+    }
+    for (std::size_t tb = 0; tb < tables.size(); ++tb) {
+      for (std::size_t i = 0; i < tables[tb].size(); ++i) {
+        Resource r = dec_resource(co_await t.read(tables[tb][i]));
+        if (r.avail > r.total) *ok = false;
+        if (r.total - r.avail != reserved[tb][i]) *ok = false;
+      }
+    }
+  };
+}
+
+}  // namespace qrdtm::apps

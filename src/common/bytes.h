@@ -1,0 +1,16 @@
+// Byte-buffer alias used as the wire and object-data representation.
+//
+// qrdtm hand-rolls its RPC payloads and replicated object contents as flat
+// byte strings (see serde.h).  Object copies are passed around by value
+// (CP.31: pass small amounts of data between contexts by value) which makes
+// the replica stores trivially free of aliasing bugs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qrdtm {
+
+using Bytes = std::vector<std::uint8_t>;
+
+}  // namespace qrdtm

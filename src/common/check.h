@@ -1,0 +1,47 @@
+// Lightweight runtime checking macros used throughout qrdtm.
+//
+// QRDTM_CHECK is always on (protocol invariants must hold in release builds
+// too -- a silently corrupted replica is worse than a crash).  QRDTM_DCHECK
+// compiles away in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace qrdtm {
+
+/// Thrown when an internal invariant is violated.  Tests catch this to
+/// assert that misuse is detected; production callers should treat it as a
+/// bug in qrdtm or in the calling code.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string full = std::string("QRDTM_CHECK failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " -- " + msg;
+  throw InvariantError(full);
+}
+
+}  // namespace qrdtm
+
+#define QRDTM_CHECK(expr)                                             \
+  do {                                                                \
+    if (!(expr)) ::qrdtm::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define QRDTM_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::qrdtm::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define QRDTM_DCHECK(expr) ((void)0)
+#else
+#define QRDTM_DCHECK(expr) QRDTM_CHECK(expr)
+#endif

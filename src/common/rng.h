@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// Every simulation owns exactly one Rng seeded from its config; derived
+// streams (per client, per app) are split off with Rng::split so that two
+// experiment points with the same seed replay identically regardless of how
+// other components consume randomness.  The core generator is xoshiro256**
+// seeded via splitmix64 -- small, fast, and reproducible across platforms
+// (std::mt19937 distributions are not bit-portable across libstdc++
+// versions, which would break golden-value tests).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace qrdtm {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit value (xoshiro256**).
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    QRDTM_DCHECK(bound > 0);
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+      std::uint64_t x = next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    QRDTM_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream; deterministic in (parent state
+  /// consumed, salt).
+  Rng split(std::uint64_t salt) {
+    std::uint64_t seed = next() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(seed);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace qrdtm

@@ -1,0 +1,80 @@
+// Small statistics helpers used by the benchmark harnesses and metrics.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qrdtm {
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir-free exact percentile helper: collects samples, sorts on query.
+/// Only used by benches/tests where sample counts are modest.
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  /// p in [0, 100].
+  double percentile(double p) {
+    QRDTM_CHECK(!samples_.empty());
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Percentage change of `x` relative to baseline `base` (paper Fig. 8 rows).
+inline double pct_change(double x, double base) {
+  if (base == 0.0) return 0.0;
+  return 100.0 * (x - base) / base;
+}
+
+}  // namespace qrdtm

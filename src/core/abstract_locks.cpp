@@ -1,0 +1,55 @@
+#include "core/abstract_locks.h"
+
+#include "common/serde.h"
+
+namespace qrdtm::core {
+
+LockManager::LockManager(net::RpcEndpoint& rpc) {
+  rpc.register_service(
+      msg::kLockAcquire,
+      [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+        return handle_acquire(b);
+      });
+  rpc.register_service(
+      msg::kLockRelease,
+      [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+        handle_release(b);
+        return std::nullopt;
+      });
+}
+
+Bytes LockManager::handle_acquire(const Bytes& req) {
+  Reader r(req);
+  AbstractLockId lock = r.u64();
+  TxnId root = r.u64();
+  r.expect_done();
+
+  bool granted = false;
+  auto it = holders_.find(lock);
+  if (it == holders_.end()) {
+    holders_[lock] = root;
+    granted = true;
+  } else if (it->second == root) {
+    granted = true;  // reentrant
+  }
+  Writer w;
+  w.boolean(granted);
+  return std::move(w).take();
+}
+
+void LockManager::handle_release(const Bytes& req) {
+  Reader r(req);
+  AbstractLockId lock = r.u64();
+  TxnId root = r.u64();
+  auto it = holders_.find(lock);
+  if (it != holders_.end() && it->second == root) {
+    holders_.erase(it);
+  }
+}
+
+net::NodeId lock_home(AbstractLockId lock, std::uint32_t num_nodes) {
+  return static_cast<net::NodeId>((lock * 0x9e3779b97f4a7c15ULL >> 33) %
+                                  num_nodes);
+}
+
+}  // namespace qrdtm::core

@@ -1,0 +1,142 @@
+#include "core/cluster.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "net/latency.h"
+
+namespace qrdtm::core {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+  Rng seeder(cfg_.seed);
+
+  // Unless the caller overrode it, charge committing clients the worst-case
+  // one-way confirm propagation so back-to-back transactions do not race
+  // their own confirms.
+  if (cfg_.runtime.commit_settle == 0) {
+    cfg_.runtime.commit_settle = cfg_.link_latency + cfg_.link_jitter;
+  }
+
+  std::unique_ptr<net::LatencyModel> latency;
+  if (cfg_.metric_space) {
+    latency = std::make_unique<net::GridLatency>(
+        cfg_.num_nodes, cfg_.link_latency, cfg_.metric_scale, seeder.next(),
+        cfg_.link_jitter);
+  } else {
+    latency = std::make_unique<net::UniformLatency>(cfg_.link_latency,
+                                                    cfg_.link_jitter);
+  }
+  net_ = std::make_unique<net::Network>(sim_, std::move(latency),
+                                        seeder.next(), cfg_.service_time);
+
+  switch (cfg_.quorum) {
+    case QuorumKind::kTree: {
+      quorum::TreeQuorumProvider::Config qc;
+      qc.num_nodes = cfg_.num_nodes;
+      qc.degree = cfg_.tree_degree;
+      qc.read_level = cfg_.tree_read_level;
+      qc.same_for_all = cfg_.same_quorums_for_all;
+      quorums_ = std::make_unique<quorum::TreeQuorumProvider>(qc);
+      break;
+    }
+    case QuorumKind::kMajority:
+      quorums_ = std::make_unique<quorum::MajorityQuorumProvider>(
+          cfg_.num_nodes, cfg_.same_quorums_for_all);
+      break;
+    case QuorumKind::kFlatFailureAware:
+      quorums_ =
+          std::make_unique<quorum::FlatFailureAwareProvider>(cfg_.num_nodes);
+      break;
+  }
+
+  if (cfg_.failure_detection_threshold > 0) {
+    failure_detector_ = std::make_unique<FailureDetector>(
+        cfg_.failure_detection_threshold,
+        [this](net::NodeId suspect) { quorums_->on_failure(suspect); });
+  }
+
+  endpoints_.reserve(cfg_.num_nodes);
+  servers_.reserve(cfg_.num_nodes);
+  runtimes_.reserve(cfg_.num_nodes);
+  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
+    endpoints_.push_back(std::make_unique<net::RpcEndpoint>(sim_, *net_));
+    QRDTM_CHECK(endpoints_.back()->id() == i);
+    servers_.push_back(std::make_unique<QrServer>(*endpoints_.back()));
+    lock_managers_.push_back(
+        std::make_unique<LockManager>(*endpoints_.back()));
+    runtimes_.push_back(std::make_unique<TxnRuntime>(
+        *endpoints_.back(), *quorums_, metrics_, cfg_.runtime,
+        seeder.next()));
+    runtimes_.back()->set_failure_detector(failure_detector_.get());
+  }
+}
+
+void Cluster::seed_object(ObjectId id, const Bytes& data, Version version) {
+  for (auto& server : servers_) {
+    server->store().seed(id, data, version);
+  }
+}
+
+ObjectId Cluster::seed_new_object(const Bytes& data) {
+  ObjectId id = next_setup_id_++;
+  seed_object(id, data);
+  return id;
+}
+
+TxnRuntime& Cluster::runtime(net::NodeId node) {
+  QRDTM_CHECK(node < runtimes_.size());
+  return *runtimes_[node];
+}
+
+QrServer& Cluster::server(net::NodeId node) {
+  QRDTM_CHECK(node < servers_.size());
+  return *servers_[node];
+}
+
+LockManager& Cluster::lock_manager(net::NodeId node) {
+  QRDTM_CHECK(node < lock_managers_.size());
+  return *lock_managers_[node];
+}
+
+void Cluster::spawn_client(net::NodeId node, TxnBody body) {
+  TxnRuntime& rt = runtime(node);
+  sim_.spawn(rt.run_transaction(std::move(body)));
+}
+
+void Cluster::spawn_loop_client(net::NodeId node, BodyFactory factory,
+                                sim::Tick think_time) {
+  TxnRuntime& rt = runtime(node);
+  auto loop = [](Cluster* self, TxnRuntime* rtp, BodyFactory f,
+                 sim::Tick think) -> sim::Task<void> {
+    Rng& rng = rtp->rng();
+    while (!self->sim_.stopping()) {
+      TxnBody body = f(rng);
+      co_await rtp->run_transaction(std::move(body));
+      if (think > 0) co_await self->sim_.delay(think);
+    }
+  };
+  sim_.spawn(loop(this, &rt, std::move(factory), think_time));
+}
+
+void Cluster::run_for(sim::Tick duration) {
+  sim_.run_until(sim_.now() + duration);
+}
+
+void Cluster::advance_for(sim::Tick duration) {
+  sim_.advance_to(sim_.now() + duration);
+}
+
+void Cluster::run_to_completion() { sim_.run(); }
+
+void Cluster::kill_node(net::NodeId node, bool notify_provider) {
+  net_->kill(node);
+  if (notify_provider) {
+    quorums_->on_failure(node);
+  }
+}
+
+std::size_t Cluster::suspected_nodes() const {
+  return failure_detector_ ? failure_detector_->suspected_count() : 0;
+}
+
+}  // namespace qrdtm::core

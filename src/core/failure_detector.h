@@ -1,0 +1,61 @@
+// Timeout-based fail-stop detector.
+//
+// The paper's failure experiment assumes failures are known to the quorum
+// policy ("with each failed node, the size of the read quorum increases by
+// one").  This component closes the loop: transaction runtimes report every
+// RPC outcome, and after `threshold` consecutive timeouts from one node the
+// detector declares it suspected and informs the quorum provider, which
+// routes subsequent quorums around it.
+//
+// A single successful reply resets the node's counter, so transient
+// congestion (queueing near the RPC timeout) does not trip the detector
+// unless it is persistent.  False suspicion of a live node is safe for
+// consistency -- quorums merely stop using it -- but wastes capacity, so
+// the threshold should sit well above sporadic-timeout levels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "net/message.h"
+
+namespace qrdtm::core {
+
+class FailureDetector {
+ public:
+  using SuspectCallback = std::function<void(net::NodeId)>;
+
+  /// `threshold` consecutive timeouts suspect a node; the callback fires
+  /// exactly once per node.
+  FailureDetector(std::uint32_t threshold, SuspectCallback on_suspect)
+      : threshold_(threshold), on_suspect_(std::move(on_suspect)) {}
+
+  void report_timeout(net::NodeId node) {
+    if (suspected_.contains(node)) return;
+    if (++consecutive_timeouts_[node] >= threshold_) {
+      suspected_.insert(node);
+      consecutive_timeouts_.erase(node);
+      if (on_suspect_) on_suspect_(node);
+    }
+  }
+
+  void report_success(net::NodeId node) {
+    consecutive_timeouts_.erase(node);
+  }
+
+  bool is_suspected(net::NodeId node) const {
+    return suspected_.contains(node);
+  }
+
+  std::size_t suspected_count() const { return suspected_.size(); }
+
+ private:
+  std::uint32_t threshold_;
+  SuspectCallback on_suspect_;
+  std::unordered_map<net::NodeId, std::uint32_t> consecutive_timeouts_;
+  std::set<net::NodeId> suspected_;
+};
+
+}  // namespace qrdtm::core

@@ -1,0 +1,64 @@
+// Cluster-wide experiment metrics.
+//
+// These counters back every number the paper reports: throughput
+// (commits / simulated second), abort rates (root + child aborts, partial
+// rollbacks), and message counts split into read and commit requests
+// (Fig. 8 reports percentage deltas of exactly these two categories).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+
+namespace qrdtm::core {
+
+struct Metrics {
+  // --- outcomes ---
+  std::uint64_t commits = 0;        // root transactions committed
+  std::uint64_t root_aborts = 0;    // full aborts (root restarted)
+  std::uint64_t ct_aborts = 0;      // QR-CN: closed-nested scope retries
+  std::uint64_t partial_rollbacks = 0;  // QR-CHK: rollbacks to a checkpoint
+  std::uint64_t local_commits = 0;  // commits that needed no 2PC (Rqv)
+
+  // --- mechanism counters ---
+  std::uint64_t remote_reads = 0;      // read requests issued (per quorum op)
+  std::uint64_t local_read_hits = 0;   // served from own/ancestor data-set
+  std::uint64_t commit_requests = 0;   // 2PC rounds started
+  std::uint64_t validation_failures = 0;  // Rqv abort replies received
+  std::uint64_t vote_aborts = 0;          // 2PC rounds that lost a vote
+  std::uint64_t checkpoints_created = 0;  // QR-CHK
+  std::uint64_t step_guard_trips = 0;     // zombie executions cut short
+
+  // --- QR-ON (open nesting extension) ---
+  std::uint64_t open_commits = 0;        // open-nested bodies committed
+  std::uint64_t compensations_run = 0;   // undone after a root abort
+  std::uint64_t lock_conflicts = 0;      // abstract-lock acquisition retries
+  std::uint64_t lock_messages = 0;       // acquire + release traffic
+
+  // --- message counts (paper Fig. 8 categories) ---
+  // One multicast to a quorum of size q counts as q messages, matching the
+  // paper's JGroups accounting.
+  std::uint64_t read_messages = 0;
+  std::uint64_t commit_messages = 0;
+
+  std::uint64_t total_aborts() const {
+    return root_aborts + ct_aborts + partial_rollbacks;
+  }
+  std::uint64_t total_messages() const {
+    return read_messages + commit_messages + lock_messages;
+  }
+
+  double throughput(sim::Tick duration) const {
+    double s = sim::to_seconds(duration);
+    return s > 0 ? static_cast<double>(commits) / s : 0.0;
+  }
+
+  /// Aborts per committed transaction (dimensionless abort rate).
+  double abort_rate() const {
+    return commits ? static_cast<double>(total_aborts()) /
+                         static_cast<double>(commits)
+                   : static_cast<double>(total_aborts());
+  }
+};
+
+}  // namespace qrdtm::core

@@ -1,0 +1,154 @@
+#include "core/qr_server.h"
+
+#include <limits>
+
+namespace qrdtm::core {
+
+QrServer::QrServer(net::RpcEndpoint& rpc) : id_(rpc.id()) {
+  rpc.register_service(msg::kRead,
+                       [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+                         return handle_read(ReadRequest::decode(b)).encode();
+                       });
+  rpc.register_service(
+      msg::kCommitRequest,
+      [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+        return handle_commit_request(CommitRequest::decode(b)).encode();
+      });
+  rpc.register_service(
+      msg::kCommitConfirm,
+      [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+        handle_commit_confirm(CommitConfirm::decode(b));
+        return std::nullopt;  // one-way
+      });
+}
+
+std::optional<ReadResponse> QrServer::validate(const ReadRequest& req) {
+  if (req.mode == NestingMode::kFlat) return std::nullopt;  // no Rqv in QR
+
+  // Closed nesting: the shallowest invalid owner must abort (Alg. 1).
+  bool any_invalid = false;
+  TxnId abort_scope = 0;
+  std::uint32_t abort_depth = std::numeric_limits<std::uint32_t>::max();
+  // Checkpointing: the minimum invalid checkpoint epoch (Alg. 4).
+  ChkEpoch abort_chk = std::numeric_limits<ChkEpoch>::max();
+
+  for (const DataSetEntry& e : req.dataset) {
+    const Version local = store_.version_of(e.id);
+    const bool invalid =
+        e.version < local || store_.protected_against(e.id, req.root);
+    if (!invalid) continue;
+    any_invalid = true;
+    // Alg. 1 line 8: drop the owner from PR/PW.  Owners are tracked per
+    // root transaction on replicas (CTs keep no remote metadata), so the
+    // bookkeeping key is the root.
+    store_.drop_txn(req.root);
+    if (req.mode == NestingMode::kClosed) {
+      if (e.owner_depth < abort_depth) {
+        abort_depth = e.owner_depth;
+        abort_scope = e.owner;
+      }
+    } else {  // kCheckpoint
+      if (e.owner_chk < abort_chk) abort_chk = e.owner_chk;
+    }
+  }
+
+  if (!any_invalid) return std::nullopt;
+  ++validation_failures_;
+
+  ReadResponse resp;
+  resp.status = ReadStatus::kAbort;
+  if (req.mode == NestingMode::kClosed) {
+    resp.abort_scope = abort_scope;
+    resp.abort_depth = abort_depth;
+  } else {
+    resp.abort_chk = abort_chk;
+  }
+  return resp;
+}
+
+ReadResponse QrServer::handle_read(const ReadRequest& req) {
+  if (auto abort = validate(req)) return *abort;
+
+  ReadResponse resp;
+  const store::ReplicaEntry* e = store_.find(req.object);
+  if (e == nullptr) {
+    resp.status = ReadStatus::kMissing;
+    return resp;
+  }
+  // A protected object is mid-2PC: its next version is decided but not yet
+  // applied.  Under Rqv (QR-CN / QR-CHK) serving the old copy would hand the
+  // requester a doomed version, so report a conflict instead (the same rule
+  // Alg. 1 applies to data-set entries).  Flat QR has no read-time conflict
+  // detection: it serves the current (old) copy and lets the commit-time
+  // validation catch the conflict.
+  if (req.mode != NestingMode::kFlat && e->is_protected &&
+      e->protector != req.root) {
+    ReadResponse abort;
+    abort.status = ReadStatus::kAbort;
+    if (req.mode == NestingMode::kClosed) {
+      // The conflict is on the object being fetched: the fetching scope
+      // itself retries.  The requester maps scope id 0 to "current scope".
+      abort.abort_scope = 0;
+      abort.abort_depth = std::numeric_limits<std::uint32_t>::max();
+    } else if (req.mode == NestingMode::kCheckpoint) {
+      abort.abort_chk = std::numeric_limits<ChkEpoch>::max();
+    }
+    ++validation_failures_;
+    return abort;
+  }
+
+  resp.status = ReadStatus::kOk;
+  resp.version = e->version;
+  resp.data = e->data;
+
+  // Alg. 2 line 17-18: PR/PW metadata is kept for root transactions only,
+  // which is what lets a CT commit locally.
+  if (req.for_write) {
+    store_.add_writer(req.object, req.root);
+  } else {
+    store_.add_reader(req.object, req.root);
+  }
+  return resp;
+}
+
+VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
+  // Decide commit/abort from local object state (paper §II): every read-set
+  // version must still be current here, and nothing in either set may be
+  // protected by a competing transaction.
+  for (const CommitReadEntry& e : req.readset) {
+    if (e.version < store_.version_of(e.id) ||
+        store_.protected_against(e.id, req.txn)) {
+      return VoteResponse{.commit = false};
+    }
+  }
+  for (const CommitWriteEntry& e : req.writeset) {
+    if (e.base < store_.version_of(e.id) ||
+        store_.protected_against(e.id, req.txn)) {
+      return VoteResponse{.commit = false};
+    }
+  }
+  // Commit vote: lock the write-set (paper: object field protected = true).
+  for (const CommitWriteEntry& e : req.writeset) {
+    store_.protect(e.id, req.txn);
+  }
+  return VoteResponse{.commit = true};
+}
+
+void QrServer::handle_commit_confirm(const CommitConfirm& confirm) {
+  if (confirm.commit) {
+    for (const CommitWriteEntry& e : confirm.writeset) {
+      // The committed version is base+1.  The writer read `base` through a
+      // read quorum, so by Q1 it was the globally newest version; base+1 is
+      // therefore fresh, and every write-quorum member converges on it.
+      store_.unprotect(e.id, confirm.txn);
+      store_.apply(e.id, e.base + 1, e.data);
+    }
+  } else {
+    for (const CommitWriteEntry& e : confirm.writeset) {
+      store_.unprotect(e.id, confirm.txn);
+    }
+  }
+  store_.drop_txn(confirm.txn);
+}
+
+}  // namespace qrdtm::core

@@ -1,0 +1,53 @@
+// QR replica server: the per-node, server-side half of the QR / QR-CN /
+// QR-CHK protocols.
+//
+// All handlers are synchronous local work (validate versions, copy an
+// object, vote, apply) -- replicas never block on other nodes, exactly as in
+// the paper where the remote side of every operation is a local decision.
+//
+//   * kRead          -- Rqv validation of the requester's data-set (Alg. 1 /
+//     Alg. 4), then serve the local copy (Alg. 2 "Remote"), maintaining
+//     PR/PW for root transactions only.
+//   * kCommitRequest -- 2PC vote: validate read-set versions and write-set
+//     bases, check protection, protect the write-set on a commit vote.
+//   * kCommitConfirm -- apply (or roll back) the protected write-set.
+#pragma once
+
+#include <cstdint>
+
+#include "core/metrics.h"
+#include "core/wire.h"
+#include "net/rpc.h"
+#include "store/replica_store.h"
+
+namespace qrdtm::core {
+
+class QrServer {
+ public:
+  /// Wires the three QR services into `rpc`.  The server must outlive the
+  /// endpoint's registered handlers (the Cluster owns both).
+  explicit QrServer(net::RpcEndpoint& rpc);
+
+  store::ReplicaStore& store() { return store_; }
+  const store::ReplicaStore& store() const { return store_; }
+
+  net::NodeId id() const { return id_; }
+
+  /// Number of Rqv validations this replica failed (test observability).
+  std::uint64_t validation_failures() const { return validation_failures_; }
+
+ private:
+  ReadResponse handle_read(const ReadRequest& req);
+  VoteResponse handle_commit_request(const CommitRequest& req);
+  void handle_commit_confirm(const CommitConfirm& confirm);
+
+  /// Rqv (Alg. 1 + Alg. 4): returns an abort-carrying response when any
+  /// data-set entry is invalid on this replica, nullopt when valid.
+  std::optional<ReadResponse> validate(const ReadRequest& req);
+
+  net::NodeId id_;
+  store::ReplicaStore store_;
+  std::uint64_t validation_failures_ = 0;
+};
+
+}  // namespace qrdtm::core

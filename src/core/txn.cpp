@@ -1,0 +1,632 @@
+#include "core/txn.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace qrdtm::core {
+
+namespace {
+constexpr std::uint32_t kDepthMax = std::numeric_limits<std::uint32_t>::max();
+constexpr ChkEpoch kChkMax = std::numeric_limits<ChkEpoch>::max();
+}  // namespace
+
+// ------------------------------------------------------------------ Txn
+
+Txn::Txn(TxnRuntime& rt, Txn* parent)
+    : rt_(rt),
+      parent_(parent),
+      scope_id_(rt.next_scope_id()),
+      depth_(parent ? parent->depth_ + 1 : 0) {}
+
+Rng& Txn::rng() { return rt_.rng(); }
+
+Txn& Txn::root() {
+  Txn* t = this;
+  while (t->parent_ != nullptr) t = t->parent_;
+  return *t;
+}
+
+const Txn& Txn::root() const {
+  const Txn* t = this;
+  while (t->parent_ != nullptr) t = t->parent_;
+  return *t;
+}
+
+Txn::OpToken Txn::begin_op() {
+  Txn& r = root();
+  const std::uint64_t idx = r.op_seq_++;
+  if (++r.ops_this_attempt_ > rt_.config().max_ops_per_attempt) {
+    ++rt_.metrics().step_guard_trips;
+    throw AbortException{AbortTarget::kRoot, r.scope_id_, 0, "step guard"};
+  }
+  const bool replay = idx < r.replay_until_;
+  if (rt_.config().mode == NestingMode::kCheckpoint && !replay) {
+    QRDTM_CHECK_MSG(r.op_log_.size() == idx,
+                    "op log out of sync with op sequence");
+    r.op_log_.emplace_back();
+  }
+  return OpToken{idx, replay};
+}
+
+bool Txn::in_fast_forward() const {
+  const Txn& r = root();
+  return r.op_seq_ < r.replay_until_;
+}
+
+void Txn::log_op(const OpToken& token, Bytes data, ObjectId created) {
+  if (rt_.config().mode != NestingMode::kCheckpoint) return;
+  Txn& r = root();
+  QRDTM_CHECK(token.idx < r.op_log_.size());
+  r.op_log_[token.idx] = OpRecord{std::move(data), created};
+}
+
+const OwnedCopy* Txn::find_local(ObjectId id, bool* from_writeset) const {
+  for (const Txn* t = this; t != nullptr; t = t->parent_) {
+    if (auto it = t->writeset_.find(id); it != t->writeset_.end()) {
+      if (from_writeset) *from_writeset = true;
+      return &it->second;
+    }
+    if (auto it = t->readset_.find(id); it != t->readset_.end()) {
+      if (from_writeset) *from_writeset = false;
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<DataSetEntry> Txn::collect_dataset() const {
+  // Walk root -> self so shallow owners appear first (order is irrelevant to
+  // the replica but deterministic for tests).
+  std::vector<const Txn*> chain;
+  for (const Txn* t = this; t != nullptr; t = t->parent_) chain.push_back(t);
+  std::reverse(chain.begin(), chain.end());
+
+  std::vector<DataSetEntry> out;
+  for (const Txn* t : chain) {
+    for (const auto& [id, oc] : t->readset_) {
+      out.push_back(DataSetEntry{id, oc.copy.version, oc.owner,
+                                 oc.owner_depth, oc.owner_chk});
+    }
+    for (const auto& [id, oc] : t->writeset_) {
+      out.push_back(DataSetEntry{id, oc.copy.version, oc.owner,
+                                 oc.owner_depth, oc.owner_chk});
+    }
+  }
+  return out;
+}
+
+sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
+  const RuntimeConfig& cfg = rt_.config();
+  Txn& r = root();
+
+  ReadRequest req;
+  req.root = r.scope_id_;
+  req.mode = cfg.mode;
+  req.object = id;
+  req.for_write = for_write;
+  if (cfg.mode != NestingMode::kFlat) req.dataset = collect_dataset();
+
+  const auto rq = rt_.quorums_.read_quorum(rt_.node());
+  ++rt_.metrics().remote_reads;
+  rt_.metrics().read_messages += rq.size();
+
+  auto futures =
+      rt_.rpc_.multicast(rq, msg::kRead, req.encode(), cfg.rpc_timeout);
+
+  bool have_best = false;
+  ObjectCopy best;
+  bool have_abort = false;
+  TxnId abort_scope = 0;
+  std::uint32_t abort_depth = kDepthMax;
+  ChkEpoch abort_chk = kChkMax;
+  std::size_t ok_replies = 0;
+
+  for (auto& f : futures) {
+    net::RpcResult res = co_await f;
+    rt_.report_rpc_outcome(res.from, res.ok);
+    if (!res.ok) continue;  // dead member or lost reply
+    ++ok_replies;
+    ReadResponse resp = ReadResponse::decode(res.payload);
+    switch (resp.status) {
+      case ReadStatus::kAbort:
+        have_abort = true;
+        if (cfg.mode == NestingMode::kClosed) {
+          // Combine across replies: shallowest owner wins; the "conflict on
+          // the fetched object itself" sentinel (scope 0 / depth max) only
+          // applies when no data-set entry was invalid anywhere.
+          if (resp.abort_depth < abort_depth ||
+              (abort_depth == kDepthMax && abort_scope == 0)) {
+            abort_depth = resp.abort_depth;
+            abort_scope = resp.abort_scope;
+          }
+        } else {
+          abort_chk = std::min(abort_chk, resp.abort_chk);
+        }
+        break;
+      case ReadStatus::kOk:
+        if (!have_best || resp.version > best.version) {
+          best = ObjectCopy{id, resp.version, std::move(resp.data)};
+          have_best = true;
+        }
+        break;
+      case ReadStatus::kMissing:
+        break;
+    }
+  }
+
+  if (have_abort) {
+    ++rt_.metrics().validation_failures;
+    if (cfg.mode == NestingMode::kClosed) {
+      const TxnId target = abort_scope == 0 ? scope_id_ : abort_scope;
+      throw AbortException{AbortTarget::kScope, target, 0, "rqv"};
+    }
+    if (cfg.mode == NestingMode::kCheckpoint) {
+      const ChkEpoch target = std::min(abort_chk, r.epoch_);
+      throw AbortException{AbortTarget::kCheckpoint, r.scope_id_, target,
+                           "rqv"};
+    }
+    throw AbortException{AbortTarget::kRoot, r.scope_id_, 0, "rqv"};
+  }
+  if (ok_replies == 0) {
+    throw AbortException{AbortTarget::kRoot, r.scope_id_, 0,
+                         "read quorum unreachable"};
+  }
+  if (!have_best) {
+    // No live replica holds the object: either a stale pointer chased by a
+    // zombie flat transaction, or a data-structure bug.  Abort and retry.
+    throw AbortException{AbortTarget::kRoot, r.scope_id_, 0,
+                         "object missing on read quorum"};
+  }
+  co_return best;
+}
+
+sim::Task<void> Txn::after_fetch_chk() {
+  Txn& r = root();
+  if (++r.objs_since_chk_ < rt_.config().chk_threshold) co_return;
+  // Automatic checkpoint: charge creation cost (fixed + per snapshotted
+  // object), snapshot the data-set and the execution cursor, open a new
+  // epoch.
+  const sim::Tick cost =
+      rt_.config().chk_create_cost +
+      rt_.config().chk_create_cost_per_obj *
+          static_cast<sim::Tick>(r.readset_.size() + r.writeset_.size());
+  if (cost > 0) {
+    co_await rt_.simulator().delay(cost);
+  }
+  ++r.epoch_;
+  Snapshot s;
+  s.epoch = r.epoch_;
+  s.op_cursor = r.op_seq_;
+  s.objs_since_chk = 0;
+  s.readset = r.readset_;
+  s.writeset = r.writeset_;
+  r.checkpoints_.push_back(std::move(s));
+  r.objs_since_chk_ = 0;
+  ++rt_.metrics().checkpoints_created;
+}
+
+sim::Task<Bytes> Txn::read(ObjectId id) {
+  QRDTM_CHECK_MSG(id != store::kNullObject, "read of null object id");
+  const OpToken op = begin_op();
+  if (op.replay) {
+    // Fast-forward: the restored snapshot already contains this operation's
+    // effects; just reproduce its result.
+    co_return root().op_log_[op.idx].data;
+  }
+  if (const OwnedCopy* c = find_local(id, nullptr)) {
+    ++rt_.metrics().local_read_hits;
+    log_op(op, c->copy.data, store::kNullObject);
+    co_return c->copy.data;
+  }
+  ObjectCopy c = co_await quorum_fetch(id, /*for_write=*/false);
+  Bytes data = c.data;
+  readset_[id] = OwnedCopy{std::move(c), scope_id_, depth_, root().epoch_};
+  log_op(op, data, store::kNullObject);
+  if (rt_.config().mode == NestingMode::kCheckpoint) {
+    co_await after_fetch_chk();
+  }
+  co_return data;
+}
+
+sim::Task<Bytes> Txn::read_for_write(ObjectId id) {
+  QRDTM_CHECK_MSG(id != store::kNullObject, "write of null object id");
+  const OpToken op = begin_op();
+  if (op.replay) {
+    co_return root().op_log_[op.idx].data;
+  }
+  if (auto it = writeset_.find(id); it != writeset_.end()) {
+    ++rt_.metrics().local_read_hits;
+    log_op(op, it->second.copy.data, store::kNullObject);
+    co_return it->second.copy.data;
+  }
+  bool from_writeset = false;
+  if (const OwnedCopy* c = find_local(id, &from_writeset)) {
+    // Local upgrade / copy-on-write from an ancestor scope.  The base
+    // version (and the QR-CHK fetch epoch) travel with the copy so commit
+    // and rollback semantics are unchanged.
+    OwnedCopy mine = *c;
+    mine.owner = scope_id_;
+    mine.owner_depth = depth_;
+    ++rt_.metrics().local_read_hits;
+    Bytes data = mine.copy.data;
+    log_op(op, data, store::kNullObject);
+    writeset_[id] = std::move(mine);
+    co_return data;
+  }
+  ObjectCopy c = co_await quorum_fetch(id, /*for_write=*/true);
+  Bytes data = c.data;
+  writeset_[id] =
+      OwnedCopy{std::move(c), scope_id_, depth_, root().epoch_};
+  log_op(op, data, store::kNullObject);
+  if (rt_.config().mode == NestingMode::kCheckpoint) {
+    co_await after_fetch_chk();
+  }
+  co_return data;
+}
+
+void Txn::write(ObjectId id, Bytes data) {
+  if (in_fast_forward()) {
+    // Re-executed pre-checkpoint code: the restored snapshot already holds
+    // this write's effect.
+    return;
+  }
+  auto it = writeset_.find(id);
+  QRDTM_CHECK_MSG(it != writeset_.end(),
+                  "write() requires read_for_write() or create() first");
+  it->second.copy.data = std::move(data);
+}
+
+ObjectId Txn::create(Bytes data) {
+  const OpToken op = begin_op();
+  Txn& r = root();
+  if (op.replay) {
+    return r.op_log_[op.idx].created;  // snapshot already holds the object
+  }
+  ObjectId id = rt_.allocate_object_id();
+  log_op(op, Bytes{}, id);
+  writeset_[id] = OwnedCopy{ObjectCopy{id, 0, std::move(data)}, scope_id_,
+                            depth_, r.epoch_};
+  return id;
+}
+
+sim::Task<void> Txn::compute(sim::Tick cost) {
+  const OpToken op = begin_op();
+  if (!op.replay && cost > 0) {
+    co_await rt_.simulator().delay(cost);
+  }
+}
+
+sim::Task<void> Txn::nested(TxnBody body) {
+  if (rt_.config().mode != NestingMode::kClosed) {
+    // Flat nesting ignores inner transactions; QR-CHK transactions are flat
+    // with checkpoints (paper §IV-A).
+    co_await body(*this);
+    co_return;
+  }
+  for (;;) {
+    Txn child(rt_, this);
+    bool retry = false;
+    bool do_propagate = false;
+    AbortException propagate;
+    try {
+      co_await body(child);
+    } catch (AbortException& a) {
+      if (a.target == AbortTarget::kScope && a.scope_id == child.scope_id_) {
+        retry = true;  // abortClosed names this CT: retry just this scope
+      } else {
+        propagate = a;  // abortClosed is an ancestor: keep unwinding
+        do_propagate = true;
+      }
+    }
+    if (do_propagate) throw propagate;
+    if (retry) {
+      ++rt_.metrics().ct_aborts;
+      const sim::Tick base = rt_.config().ct_retry_backoff;
+      if (base > 0) {
+        co_await rt_.simulator().delay(base / 2 + rt_.rng().below(base));
+      }
+      continue;  // paper: retry T_closed from its beginning
+    }
+    child.merge_into_parent();  // commitCT (Alg. 3): local, zero messages
+    co_return;
+  }
+}
+
+sim::Task<void> Txn::open_nested(OpenOp op) {
+  QRDTM_CHECK_MSG(parent_ == nullptr,
+                  "open_nested is only valid at root depth");
+  QRDTM_CHECK_MSG(rt_.config().mode != NestingMode::kCheckpoint,
+                  "open nesting cannot compose with checkpoint replay");
+  // Deterministic per-operation lock order; cross-operation cycles are
+  // broken by acquire_abstract_lock's bounded retries (root abort +
+  // compensation).
+  std::sort(op.locks.begin(), op.locks.end());
+  op.locks.erase(std::unique(op.locks.begin(), op.locks.end()),
+                 op.locks.end());
+  for (AbstractLockId lock : op.locks) {
+    co_await rt_.acquire_abstract_lock(*this, lock);
+  }
+  // The body is an independent transaction: it commits globally NOW, while
+  // this root is still running (the defining property of open nesting).
+  bool ok = co_await rt_.run_txn_impl(op.body, 0, /*count_commit=*/false);
+  QRDTM_CHECK(ok);
+  ++rt_.metrics().open_commits;
+  if (op.compensation) {
+    open_log_.push_back(std::move(op.compensation));
+  }
+}
+
+void Txn::merge_into_parent() {
+  QRDTM_CHECK(parent_ != nullptr);
+  // Ownership transfers to the parent: a later conflict on these objects
+  // must abort the parent, since this CT no longer exists (Alg. 3).
+  for (auto& [id, oc] : readset_) {
+    oc.owner = parent_->scope_id_;
+    oc.owner_depth = parent_->depth_;
+    parent_->readset_[id] = std::move(oc);
+  }
+  for (auto& [id, oc] : writeset_) {
+    oc.owner = parent_->scope_id_;
+    oc.owner_depth = parent_->depth_;
+    parent_->writeset_[id] = std::move(oc);
+  }
+  readset_.clear();
+  writeset_.clear();
+}
+
+void Txn::reset_scope() {
+  readset_.clear();
+  writeset_.clear();
+}
+
+void Txn::reset_full() {
+  QRDTM_CHECK(parent_ == nullptr);
+  QRDTM_CHECK_MSG(open_log_.empty() && held_locks_.empty(),
+                  "open-nesting state must be settled before a reset");
+  readset_.clear();
+  writeset_.clear();
+  checkpoints_.clear();
+  op_log_.clear();
+  epoch_ = 0;
+  objs_since_chk_ = 0;
+  op_seq_ = 0;
+  replay_until_ = 0;
+  ops_this_attempt_ = 0;
+}
+
+void Txn::rollback_to(ChkEpoch epoch) {
+  QRDTM_CHECK(parent_ == nullptr);
+  QRDTM_CHECK_MSG(epoch >= 1, "rollback to epoch 0 is a full abort");
+  while (!checkpoints_.empty() && checkpoints_.back().epoch > epoch) {
+    checkpoints_.pop_back();
+  }
+  QRDTM_CHECK_MSG(
+      !checkpoints_.empty() && checkpoints_.back().epoch == epoch,
+      "rollback target checkpoint not found");
+  const Snapshot& s = checkpoints_.back();
+  readset_ = s.readset;
+  writeset_ = s.writeset;
+  epoch_ = s.epoch;
+  objs_since_chk_ = s.objs_since_chk;
+  replay_until_ = s.op_cursor;
+  // Drop log entries from the abandoned suffix; the replay's fresh
+  // execution appends new ones from the cursor on.
+  op_log_.resize(s.op_cursor);
+  op_seq_ = 0;
+  ops_this_attempt_ = 0;
+}
+
+// ------------------------------------------------------------ TxnRuntime
+
+TxnRuntime::TxnRuntime(net::RpcEndpoint& rpc, quorum::QuorumProvider& quorums,
+                       Metrics& metrics, RuntimeConfig config,
+                       std::uint64_t seed)
+    : rpc_(rpc),
+      quorums_(quorums),
+      metrics_(metrics),
+      config_(config),
+      rng_(seed),
+      // Scope ids are node-prefixed so ids never collide across nodes; id 0
+      // is reserved as the "current scope" sentinel in abort replies.
+      next_scope_id_((static_cast<TxnId>(rpc.id()) + 1) << 40) {}
+
+ObjectId TxnRuntime::allocate_object_id() {
+  return ((static_cast<ObjectId>(rpc_.id()) + 1) << 40) |
+         (0x8000000000ULL + next_object_seq_++);
+}
+
+sim::Task<void> TxnRuntime::run_transaction(TxnBody body) {
+  bool ok = co_await run_txn_impl(std::move(body), 0, /*count_commit=*/true);
+  QRDTM_CHECK(ok);
+}
+
+sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
+                                         std::uint32_t max_attempts,
+                                         bool count_commit) {
+  Txn root(*this, nullptr);
+  std::uint32_t attempt = 0;
+  for (;;) {
+    bool committed = false;
+    bool aborted = false;
+    AbortException abort;
+    try {
+      co_await body(root);
+      co_await commit_root(root);
+      committed = true;
+    } catch (AbortException& a) {
+      abort = a;
+      aborted = true;
+    }
+    if (committed) {
+      co_await finish_open(root, /*committed=*/true);
+      if (count_commit) ++metrics_.commits;
+      co_return true;
+    }
+    QRDTM_CHECK(aborted);
+
+    if (config_.mode == NestingMode::kCheckpoint &&
+        abort.target == AbortTarget::kCheckpoint) {
+      const ChkEpoch target = std::min(abort.chk, root.epoch_);
+      if (target >= 1) {
+        // Partial rollback: restore the checkpoint and resume (replay).
+        // Restoring the saved continuation + transaction copy costs time.
+        ++metrics_.partial_rollbacks;
+        root.rollback_to(target);
+        if (config_.chk_restore_cost > 0) {
+          co_await rpc_.simulator().delay(config_.chk_restore_cost);
+        }
+        continue;
+      }
+      // Rolling back to the start is a full abort.
+    }
+
+    ++metrics_.root_aborts;
+    // QR-ON: undo globally-committed open-nested work before retrying.
+    co_await finish_open(root, /*committed=*/false);
+    root.reset_full();
+    ++attempt;
+    if (max_attempts != 0 && attempt >= max_attempts) co_return false;
+    co_await backoff(attempt);
+  }
+}
+
+sim::Task<void> TxnRuntime::acquire_abstract_lock(Txn& root,
+                                                  AbstractLockId lock) {
+  if (std::find(root.held_locks_.begin(), root.held_locks_.end(), lock) !=
+      root.held_locks_.end()) {
+    co_return;  // already held by this root (reentrant)
+  }
+  const net::NodeId home = lock_home(lock, rpc_.network().num_nodes());
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    Writer w;
+    w.u64(lock);
+    w.u64(root.scope_id_);
+    ++metrics_.lock_messages;
+    auto res = co_await rpc_.call(home, msg::kLockAcquire,
+                                  std::move(w).take(), config_.rpc_timeout);
+    report_rpc_outcome(home, res.ok);
+    if (res.ok) {
+      Reader r(res.payload);
+      if (r.boolean()) {
+        root.held_locks_.push_back(lock);
+        co_return;
+      }
+    }
+    ++metrics_.lock_conflicts;
+    if (attempt + 1 >= config_.max_lock_attempts) {
+      // Could not get the lock: break the (potential) cross-root cycle by
+      // aborting this root, which compensates and releases what it holds.
+      throw AbortException{AbortTarget::kRoot, root.scope_id_, 0,
+                           "abstract lock conflict"};
+    }
+    co_await backoff(attempt + 1);
+  }
+}
+
+sim::Task<void> TxnRuntime::finish_open(Txn& root, bool committed) {
+  if (root.open_log_.empty() && root.held_locks_.empty()) co_return;
+  if (!committed) {
+    // Undo committed open-nested bodies, newest first.  Compensations are
+    // independent committed transactions; they must not use open_nested
+    // themselves (no recursion).
+    for (auto it = root.open_log_.rbegin(); it != root.open_log_.rend();
+         ++it) {
+      bool ok = co_await run_txn_impl(*it, 0, /*count_commit=*/false);
+      QRDTM_CHECK(ok);
+      ++metrics_.compensations_run;
+    }
+  }
+  for (AbstractLockId lock : root.held_locks_) {
+    Writer w;
+    w.u64(lock);
+    w.u64(root.scope_id_);
+    ++metrics_.lock_messages;
+    rpc_.notify(lock_home(lock, rpc_.network().num_nodes()),
+                msg::kLockRelease, std::move(w).take());
+  }
+  root.open_log_.clear();
+  root.held_locks_.clear();
+}
+
+sim::Task<void> TxnRuntime::commit_root(Txn& root) {
+  // An empty transaction (no reads, no writes) has nothing to validate.
+  if (root.writeset_.empty() && root.readset_.empty()) {
+    ++metrics_.local_commits;
+    co_return;
+  }
+  // Rqv makes read-only commits free under QR-CN (paper §III-A); flat QR
+  // and QR-CHK always run the 2PC (QR-CHK commit "exactly the same as flat",
+  // §IV-A).
+  if (root.writeset_.empty() && config_.mode == NestingMode::kClosed &&
+      config_.cn_local_readonly_commit) {
+    ++metrics_.local_commits;
+    co_return;
+  }
+
+  CommitRequest req;
+  req.txn = root.scope_id_;
+  req.readset.reserve(root.readset_.size());
+  for (const auto& [id, oc] : root.readset_) {
+    req.readset.push_back(CommitReadEntry{id, oc.copy.version});
+  }
+  req.writeset.reserve(root.writeset_.size());
+  for (const auto& [id, oc] : root.writeset_) {
+    req.writeset.push_back(CommitWriteEntry{id, oc.copy.version, oc.copy.data});
+  }
+
+  const auto wq = quorums_.write_quorum(node());
+  ++metrics_.commit_requests;
+  metrics_.commit_messages += wq.size();
+  auto futures = rpc_.multicast(wq, msg::kCommitRequest, req.encode(),
+                                config_.rpc_timeout);
+
+  bool all_commit = true;
+  for (auto& f : futures) {
+    net::RpcResult res = co_await f;
+    report_rpc_outcome(res.from, res.ok);
+    if (!res.ok) {
+      all_commit = false;  // dead or unreachable member counts as abort
+      continue;
+    }
+    if (!VoteResponse::decode(res.payload).commit) all_commit = false;
+  }
+
+  // The confirm goes out either way: voters that protected the write-set
+  // must release it on abort.
+  CommitConfirm confirm;
+  confirm.txn = req.txn;
+  confirm.commit = all_commit;
+  confirm.writeset = std::move(req.writeset);
+  const Bytes encoded = confirm.encode();
+  metrics_.commit_messages += wq.size();
+  for (net::NodeId n : wq) {
+    rpc_.notify(n, msg::kCommitConfirm, encoded);
+  }
+
+  // Charge the one-way confirm propagation (paper: commit-confirm cost is
+  // the distance to the write quorum).  This also keeps the client's next
+  // attempt from racing its own confirms.
+  if (config_.commit_settle > 0) {
+    co_await rpc_.simulator().delay(config_.commit_settle);
+  }
+
+  if (!all_commit) {
+    ++metrics_.vote_aborts;
+    throw AbortException{AbortTarget::kRoot, root.scope_id_, 0,
+                         "commit vote failed"};
+  }
+}
+
+sim::Task<void> TxnRuntime::backoff(std::uint32_t attempt) {
+  const std::uint32_t exp = std::min(attempt, 8u);
+  const sim::Tick window =
+      std::min(config_.backoff_cap, config_.backoff_base << exp);
+  const sim::Tick wait =
+      window > 0 ? static_cast<sim::Tick>(rng_.below(window) + window / 2) : 0;
+  if (wait > 0) co_await rpc_.simulator().delay(wait);
+}
+
+}  // namespace qrdtm::core

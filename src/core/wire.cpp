@@ -1,0 +1,151 @@
+#include "core/wire.h"
+
+namespace qrdtm::core {
+
+namespace {
+
+void encode_entry(Writer& w, const DataSetEntry& e) {
+  w.u64(e.id);
+  w.u64(e.version);
+  w.u64(e.owner);
+  w.u32(e.owner_depth);
+  w.u64(e.owner_chk);
+}
+
+DataSetEntry decode_entry(Reader& r) {
+  DataSetEntry e;
+  e.id = r.u64();
+  e.version = r.u64();
+  e.owner = r.u64();
+  e.owner_depth = r.u32();
+  e.owner_chk = r.u64();
+  return e;
+}
+
+}  // namespace
+
+Bytes ReadRequest::encode() const {
+  Writer w;
+  w.u64(root);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u64(object);
+  w.boolean(for_write);
+  encode_vec(w, dataset, encode_entry);
+  return std::move(w).take();
+}
+
+ReadRequest ReadRequest::decode(const Bytes& b) {
+  Reader r(b);
+  ReadRequest req;
+  req.root = r.u64();
+  req.mode = static_cast<NestingMode>(r.u8());
+  req.object = r.u64();
+  req.for_write = r.boolean();
+  req.dataset = decode_vec<DataSetEntry>(r, decode_entry);
+  r.expect_done();
+  return req;
+}
+
+Bytes ReadResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(version);
+  w.blob(data);
+  w.u64(abort_scope);
+  w.u32(abort_depth);
+  w.u64(abort_chk);
+  return std::move(w).take();
+}
+
+ReadResponse ReadResponse::decode(const Bytes& b) {
+  Reader r(b);
+  ReadResponse resp;
+  resp.status = static_cast<ReadStatus>(r.u8());
+  resp.version = r.u64();
+  resp.data = r.blob();
+  resp.abort_scope = r.u64();
+  resp.abort_depth = r.u32();
+  resp.abort_chk = r.u64();
+  r.expect_done();
+  return resp;
+}
+
+Bytes CommitRequest::encode() const {
+  Writer w;
+  w.u64(txn);
+  encode_vec(w, readset, [](Writer& w2, const CommitReadEntry& e) {
+    w2.u64(e.id);
+    w2.u64(e.version);
+  });
+  encode_vec(w, writeset, [](Writer& w2, const CommitWriteEntry& e) {
+    w2.u64(e.id);
+    w2.u64(e.base);
+    w2.blob(e.data);
+  });
+  return std::move(w).take();
+}
+
+CommitRequest CommitRequest::decode(const Bytes& b) {
+  Reader r(b);
+  CommitRequest req;
+  req.txn = r.u64();
+  req.readset = decode_vec<CommitReadEntry>(r, [](Reader& r2) {
+    CommitReadEntry e;
+    e.id = r2.u64();
+    e.version = r2.u64();
+    return e;
+  });
+  req.writeset = decode_vec<CommitWriteEntry>(r, [](Reader& r2) {
+    CommitWriteEntry e;
+    e.id = r2.u64();
+    e.base = r2.u64();
+    e.data = r2.blob();
+    return e;
+  });
+  r.expect_done();
+  return req;
+}
+
+Bytes VoteResponse::encode() const {
+  Writer w;
+  w.boolean(commit);
+  return std::move(w).take();
+}
+
+VoteResponse VoteResponse::decode(const Bytes& b) {
+  Reader r(b);
+  VoteResponse v;
+  v.commit = r.boolean();
+  r.expect_done();
+  return v;
+}
+
+Bytes CommitConfirm::encode() const {
+  Writer w;
+  w.u64(txn);
+  w.boolean(commit);
+  encode_vec(w, writeset, [](Writer& w2, const CommitWriteEntry& e) {
+    w2.u64(e.id);
+    w2.u64(e.base);
+    w2.blob(e.data);
+  });
+  return std::move(w).take();
+}
+
+CommitConfirm CommitConfirm::decode(const Bytes& b) {
+  Reader r(b);
+  CommitConfirm c;
+  c.txn = r.u64();
+  c.commit = r.boolean();
+  c.writeset = decode_vec<CommitWriteEntry>(r, [](Reader& r2) {
+    CommitWriteEntry e;
+    e.id = r2.u64();
+    e.base = r2.u64();
+    e.data = r2.blob();
+    return e;
+  });
+  r.expect_done();
+  return c;
+}
+
+}  // namespace qrdtm::core

@@ -1,0 +1,111 @@
+// QR-family wire messages (read / commit-request / confirm) and their serde.
+//
+// ReadRequest doubles as the Rqv validation carrier: under QR-CN / QR-CHK it
+// ships the requesting transaction's entire data-set (read-set + write-set,
+// including every ancestor's) so the replica can validate incrementally
+// before serving the object (paper Alg. 1, 2, 4).  Under flat QR the
+// data-set is empty and replicas skip validation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/types.h"
+#include "net/message.h"
+
+namespace qrdtm::core {
+
+namespace msg {
+// Message kinds (0x01xx = QR family).
+constexpr net::MsgKind kRead = 0x0101;
+constexpr net::MsgKind kCommitRequest = 0x0102;
+constexpr net::MsgKind kCommitConfirm = 0x0103;  // one-way, commit or abort
+}  // namespace msg
+
+/// One validated object in the requester's data-set.
+struct DataSetEntry {
+  ObjectId id = 0;
+  Version version = 0;
+  /// QR-CN: the scope (root or CT) that owns the copy, and its depth in the
+  /// nesting hierarchy (0 = root).  The replica reports the *shallowest*
+  /// invalid owner as abortClosed (paper Alg. 1 line 9-10).
+  TxnId owner = 0;
+  std::uint32_t owner_depth = 0;
+  /// QR-CHK: checkpoint epoch current when the copy was fetched.  The
+  /// replica reports the *minimum* invalid epoch as abortChk (Alg. 4).
+  ChkEpoch owner_chk = 0;
+};
+
+struct ReadRequest {
+  TxnId root = 0;  // root transaction id (PR/PW bookkeeping key)
+  NestingMode mode = NestingMode::kFlat;
+  ObjectId object = 0;
+  bool for_write = false;
+  std::vector<DataSetEntry> dataset;  // empty under flat QR
+
+  Bytes encode() const;
+  static ReadRequest decode(const Bytes& b);
+};
+
+enum class ReadStatus : std::uint8_t {
+  kOk = 0,       // copy attached (version may be 0 if replica never saw it)
+  kMissing = 1,  // replica has no copy (stale replica or unknown object)
+  kAbort = 2     // Rqv validation failed; abort info attached
+};
+
+struct ReadResponse {
+  ReadStatus status = ReadStatus::kMissing;
+  Version version = 0;
+  Bytes data;
+  // Abort info (status == kAbort):
+  TxnId abort_scope = 0;
+  std::uint32_t abort_depth = 0;
+  ChkEpoch abort_chk = 0;
+
+  Bytes encode() const;
+  static ReadResponse decode(const Bytes& b);
+};
+
+/// One read-set entry validated at commit time.
+struct CommitReadEntry {
+  ObjectId id = 0;
+  Version version = 0;
+};
+
+/// One write-set entry: `base` is the version the writer read; the committed
+/// version becomes base+1 (globally fresh by Q1 -- see qr_server.cpp).
+struct CommitWriteEntry {
+  ObjectId id = 0;
+  Version base = 0;
+  Bytes data;
+};
+
+struct CommitRequest {
+  TxnId txn = 0;
+  std::vector<CommitReadEntry> readset;
+  std::vector<CommitWriteEntry> writeset;
+
+  Bytes encode() const;
+  static CommitRequest decode(const Bytes& b);
+};
+
+struct VoteResponse {
+  bool commit = false;
+
+  Bytes encode() const;
+  static VoteResponse decode(const Bytes& b);
+};
+
+/// One-way confirm broadcast to the write quorum after gathering votes.
+struct CommitConfirm {
+  TxnId txn = 0;
+  bool commit = false;  // false = abort: just unprotect + drop bookkeeping
+  std::vector<CommitWriteEntry> writeset;  // applied as version base+1
+
+  Bytes encode() const;
+  static CommitConfirm decode(const Bytes& b);
+};
+
+}  // namespace qrdtm::core

@@ -1,0 +1,85 @@
+// Link-latency models for the simulated metric-space network.
+//
+// cc DTM assumes communication costs form a metric (paper §I).  We provide:
+//   * UniformLatency  -- one base latency for all links, with optional
+//     deterministic-seeded jitter.  Matches the paper's testbed description
+//     ("average round-trip latency ~30 ms").
+//   * GridLatency     -- nodes placed on a 2D grid; latency proportional to
+//     Euclidean distance plus a per-hop base.  Used to exercise the
+//     metric-space claims (triangle inequality holds by construction).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace qrdtm::net {
+
+using NodeId = std::uint32_t;
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// One-way latency for a message from `a` to `b`.  `rng` supplies jitter;
+  /// implementations must be deterministic given the rng stream.
+  virtual sim::Tick one_way(NodeId a, NodeId b, Rng& rng) const = 0;
+};
+
+class UniformLatency final : public LatencyModel {
+ public:
+  /// `base` one-way latency; jitter uniform in [0, jitter].
+  explicit UniformLatency(sim::Tick base, sim::Tick jitter = 0)
+      : base_(base), jitter_(jitter) {}
+
+  sim::Tick one_way(NodeId a, NodeId b, Rng& rng) const override {
+    if (a == b) return sim::usec(1);  // loopback
+    sim::Tick j = jitter_ ? rng.below(jitter_ + 1) : 0;
+    return base_ + j;
+  }
+
+ private:
+  sim::Tick base_;
+  sim::Tick jitter_;
+};
+
+class GridLatency final : public LatencyModel {
+ public:
+  /// Places `n` nodes deterministically on a unit square (seeded layout);
+  /// latency = base + distance * scale (+ jitter).
+  GridLatency(std::uint32_t n, sim::Tick base, sim::Tick scale,
+              std::uint64_t layout_seed, sim::Tick jitter = 0)
+      : base_(base), scale_(scale), jitter_(jitter) {
+    Rng layout(layout_seed);
+    pos_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      pos_.push_back({layout.uniform(), layout.uniform()});
+    }
+  }
+
+  sim::Tick one_way(NodeId a, NodeId b, Rng& rng) const override {
+    if (a == b) return sim::usec(1);
+    QRDTM_CHECK(a < pos_.size() && b < pos_.size());
+    double dx = pos_[a].x - pos_[b].x;
+    double dy = pos_[a].y - pos_[b].y;
+    double dist = std::sqrt(dx * dx + dy * dy);
+    sim::Tick j = jitter_ ? rng.below(jitter_ + 1) : 0;
+    return base_ + static_cast<sim::Tick>(dist * static_cast<double>(scale_)) +
+           j;
+  }
+
+ private:
+  struct P {
+    double x, y;
+  };
+  sim::Tick base_;
+  sim::Tick scale_;
+  sim::Tick jitter_;
+  std::vector<P> pos_;
+};
+
+}  // namespace qrdtm::net

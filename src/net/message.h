@@ -1,0 +1,33 @@
+// Wire-level message envelope.
+//
+// Every protocol in qrdtm (QR, QR-CN, QR-CHK, TFA, DecentSTM) exchanges
+// Message envelopes; the payload is an opaque serde-encoded blob whose
+// schema is defined by the protocol's `kind`.  This mirrors the paper's
+// JGroups transport: reliable, ordered per link, unicast + multicast.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace qrdtm::net {
+
+using NodeId = std::uint32_t;
+
+constexpr NodeId kNoNode = ~NodeId{0};
+
+/// Protocol-defined message discriminator.  Each protocol reserves a range:
+///   0x01xx QR family requests, 0x02xx TFA, 0x03xx DecentSTM.
+/// Responses reuse the request kind with the `response` flag set.
+using MsgKind = std::uint16_t;
+
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  MsgKind kind = 0;
+  bool response = false;
+  std::uint64_t rpc_id = 0;  // request/response correlation
+  Bytes payload;
+};
+
+}  // namespace qrdtm::net

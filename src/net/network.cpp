@@ -1,0 +1,46 @@
+#include "net/network.h"
+
+#include <utility>
+
+namespace qrdtm::net {
+
+void Network::send(Message m) {
+  QRDTM_CHECK_MSG(m.dst < nodes_.size(), "send to unknown node");
+  QRDTM_CHECK_MSG(m.src < nodes_.size(), "send from unknown node");
+
+  ++stats_.sent_total;
+  ++stats_.sent_by_kind[m.kind];
+
+  // A dead *sender* cannot emit messages.
+  if (!nodes_[m.src].alive) {
+    ++stats_.dropped_dead;
+    return;
+  }
+
+  const sim::Tick arrival = sim_.now() + latency_->one_way(m.src, m.dst, rng_);
+
+  // Reserve the destination's service slot now so FIFO order is decided at
+  // send time per arrival; the slot start accounts for queueing behind
+  // earlier arrivals.
+  sim_.schedule_at(arrival, [this, m = std::move(m)]() mutable {
+    NodeState& dst = nodes_[m.dst];
+    if (!dst.alive) {
+      ++stats_.dropped_dead;
+      return;
+    }
+    const sim::Tick start = std::max(sim_.now(), dst.busy_until);
+    const sim::Tick done = start + service_time_;
+    dst.busy_until = done;
+    sim_.schedule_at(done, [this, m = std::move(m)]() {
+      NodeState& d = nodes_[m.dst];
+      if (!d.alive) {
+        ++stats_.dropped_dead;
+        return;
+      }
+      ++stats_.delivered_total;
+      d.handler(m);
+    });
+  });
+}
+
+}  // namespace qrdtm::net

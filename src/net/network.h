@@ -1,0 +1,111 @@
+// Simulated message-passing network with per-node service queues and
+// failure injection.
+//
+// Delivery pipeline for Network::send(m):
+//   now --(one-way link latency)--> arrival at m.dst
+//       --(FIFO wait behind earlier messages)--> service start
+//       --(service time)--> handler invoked.
+// The per-node FIFO service queue models a replica's finite message-handling
+// capacity; it is what produces the hotspot -> load-balance -> degradation
+// shape of the paper's Fig. 10 (a single-node read quorum saturates).
+//
+// Failure injection: kill(n) makes node n drop every message addressed to it
+// from the kill instant onward (fail-stop).  Messages already handed to a
+// dead node are lost; callers recover via RPC timeouts or by reconfiguring
+// quorums around known-dead nodes (paper §VI-D).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "net/latency.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace qrdtm::net {
+
+/// Per-kind and aggregate message counters (paper Fig. 8 reports message
+/// deltas; the core metrics map kinds onto read/commit categories).
+struct NetStats {
+  std::uint64_t sent_total = 0;
+  std::uint64_t delivered_total = 0;
+  std::uint64_t dropped_dead = 0;
+  std::map<MsgKind, std::uint64_t> sent_by_kind;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
+          std::uint64_t seed, sim::Tick service_time = sim::usec(50))
+      : sim_(sim),
+        latency_(std::move(latency)),
+        rng_(seed),
+        service_time_(service_time) {}
+
+  /// Register a node's message handler.  Node ids must be dense from 0.
+  NodeId add_node(Handler h) {
+    nodes_.push_back(NodeState{std::move(h), /*alive=*/true,
+                               /*busy_until=*/0});
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  bool alive(NodeId n) const {
+    QRDTM_CHECK(n < nodes_.size());
+    return nodes_[n].alive;
+  }
+
+  /// Fail-stop the node.  Idempotent.
+  void kill(NodeId n) {
+    QRDTM_CHECK(n < nodes_.size());
+    nodes_[n].alive = false;
+  }
+
+  void revive(NodeId n) {
+    QRDTM_CHECK(n < nodes_.size());
+    nodes_[n].alive = true;
+  }
+
+  std::vector<NodeId> alive_nodes() const {
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (nodes_[n].alive) out.push_back(n);
+    }
+    return out;
+  }
+
+  /// Enqueue a message for delivery.  Never blocks the sender (the paper's
+  /// JGroups sends are asynchronous; senders wait on replies, not sends).
+  void send(Message m);
+
+  const NetStats& stats() const { return stats_; }
+
+  /// Service time charged per handled message at the destination replica.
+  sim::Tick service_time() const { return service_time_; }
+
+ private:
+  struct NodeState {
+    Handler handler;
+    bool alive;
+    sim::Tick busy_until;
+  };
+
+  sim::Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  sim::Tick service_time_;
+  std::vector<NodeState> nodes_;
+  NetStats stats_;
+};
+
+}  // namespace qrdtm::net

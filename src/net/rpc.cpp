@@ -1,0 +1,85 @@
+#include "net/rpc.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace qrdtm::net {
+
+RpcEndpoint::RpcEndpoint(sim::Simulator& sim, Network& net)
+    : sim_(sim), net_(net) {
+  id_ = net_.add_node([this](const Message& m) { handle(m); });
+}
+
+void RpcEndpoint::register_service(MsgKind kind, Service service) {
+  QRDTM_CHECK_MSG(!services_.contains(kind), "duplicate service registration");
+  services_[kind] = std::move(service);
+}
+
+sim::Future<RpcResult> RpcEndpoint::call(NodeId dst, MsgKind kind, Bytes req,
+                                         sim::Tick timeout) {
+  const std::uint64_t rpc_id = next_rpc_id_++;
+  sim::Promise<RpcResult> promise(sim_);
+  auto future = promise.future();
+  pending_.emplace(rpc_id, promise);
+
+  net_.send(Message{.src = id_,
+                    .dst = dst,
+                    .kind = kind,
+                    .response = false,
+                    .rpc_id = rpc_id,
+                    .payload = std::move(req)});
+
+  sim_.schedule_after(timeout, [this, rpc_id, dst]() {
+    auto it = pending_.find(rpc_id);
+    if (it == pending_.end()) return;  // already resolved
+    it->second.try_set(RpcResult{.ok = false, .from = dst, .payload = {}});
+    pending_.erase(it);
+  });
+  return future;
+}
+
+void RpcEndpoint::notify(NodeId dst, MsgKind kind, Bytes payload) {
+  net_.send(Message{.src = id_,
+                    .dst = dst,
+                    .kind = kind,
+                    .response = false,
+                    .rpc_id = 0,
+                    .payload = std::move(payload)});
+}
+
+std::vector<sim::Future<RpcResult>> RpcEndpoint::multicast(
+    const std::vector<NodeId>& members, MsgKind kind, const Bytes& req,
+    sim::Tick timeout) {
+  std::vector<sim::Future<RpcResult>> futures;
+  futures.reserve(members.size());
+  for (NodeId m : members) {
+    futures.push_back(call(m, kind, req, timeout));
+  }
+  return futures;
+}
+
+void RpcEndpoint::handle(const Message& m) {
+  if (m.response) {
+    auto it = pending_.find(m.rpc_id);
+    if (it == pending_.end()) return;  // response raced with timeout
+    it->second.try_set(RpcResult{.ok = true, .from = m.src,
+                                 .payload = m.payload});
+    pending_.erase(it);
+    return;
+  }
+
+  auto svc = services_.find(m.kind);
+  QRDTM_CHECK_MSG(svc != services_.end(), "no service for message kind");
+  std::optional<Bytes> reply = svc->second(m.src, m.payload);
+  if (reply.has_value() && m.rpc_id != 0) {
+    net_.send(Message{.src = id_,
+                      .dst = m.src,
+                      .kind = m.kind,
+                      .response = true,
+                      .rpc_id = m.rpc_id,
+                      .payload = std::move(*reply)});
+  }
+}
+
+}  // namespace qrdtm::net

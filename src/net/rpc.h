@@ -1,0 +1,73 @@
+// Request/response RPC over the simulated network.
+//
+// Each node owns one RpcEndpoint.  Server-side protocol logic registers a
+// synchronous service per message kind (replica handlers in QR are
+// non-blocking: validate, read, vote -- all local work).  Client-side
+// transaction runtimes issue `call`s and await the returned futures; quorum
+// operations fan a request out to every member and gather all replies
+// (multicast-and-gather, the JGroups pattern in the paper).
+//
+// A call either completes with the response payload or, after `timeout`,
+// with ok=false (destination dead or response lost).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/network.h"
+#include "sim/sync.h"
+
+namespace qrdtm::net {
+
+struct RpcResult {
+  bool ok = false;
+  NodeId from = kNoNode;
+  Bytes payload;
+};
+
+class RpcEndpoint {
+ public:
+  /// A service consumes a request payload and returns a response payload,
+  /// or nullopt for one-way messages that take no reply.
+  using Service =
+      std::function<std::optional<Bytes>(NodeId src, const Bytes& req)>;
+
+  /// Creates the endpoint and registers it with the network.
+  RpcEndpoint(sim::Simulator& sim, Network& net);
+
+  NodeId id() const { return id_; }
+  sim::Simulator& simulator() { return sim_; }
+  Network& network() { return net_; }
+
+  void register_service(MsgKind kind, Service service);
+
+  /// Issue a request; the future resolves with the response or with
+  /// ok=false after `timeout`.
+  sim::Future<RpcResult> call(NodeId dst, MsgKind kind, Bytes req,
+                              sim::Tick timeout);
+
+  /// Fire-and-forget one-way message.
+  void notify(NodeId dst, MsgKind kind, Bytes payload);
+
+  /// Fan `req` out to every member and return the futures in member order.
+  /// Await them all to implement multicast-and-gather.
+  std::vector<sim::Future<RpcResult>> multicast(
+      const std::vector<NodeId>& members, MsgKind kind, const Bytes& req,
+      sim::Tick timeout);
+
+ private:
+  void handle(const Message& m);
+
+  sim::Simulator& sim_;
+  Network& net_;
+  NodeId id_;
+  std::uint64_t next_rpc_id_ = 1;
+  std::unordered_map<MsgKind, Service> services_;
+  std::unordered_map<std::uint64_t, sim::Promise<RpcResult>> pending_;
+};
+
+}  // namespace qrdtm::net

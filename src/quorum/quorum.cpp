@@ -1,0 +1,229 @@
+#include "quorum/quorum.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qrdtm::quorum {
+
+bool intersects(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  for (NodeId x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- tree
+
+TreeQuorumProvider::TreeQuorumProvider(Config cfg) : cfg_(cfg) {
+  QRDTM_CHECK(cfg_.num_nodes >= 1);
+  QRDTM_CHECK(cfg_.degree >= 2);
+  dead_.assign(cfg_.num_nodes, false);
+  // Height of the complete d-ary tree holding num_nodes nodes.
+  std::uint32_t h = 0;
+  std::uint64_t level_start = 0, level_size = 1;
+  while (level_start + level_size < cfg_.num_nodes) {
+    level_start += level_size;
+    level_size *= cfg_.degree;
+    ++h;
+  }
+  height_ = h;
+  QRDTM_CHECK_MSG(cfg_.read_level <= height_,
+                  "read_level deeper than the tree");
+}
+
+std::vector<NodeId> TreeQuorumProvider::children(NodeId v) const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 1; i <= cfg_.degree; ++i) {
+    std::uint64_t c = static_cast<std::uint64_t>(v) * cfg_.degree + i;
+    if (c < cfg_.num_nodes) out.push_back(static_cast<NodeId>(c));
+  }
+  return out;
+}
+
+namespace {
+std::uint64_t next_salt(std::uint64_t salt, NodeId v) {
+  return salt * 6364136223846793005ULL + v + 1442695040888963407ULL;
+}
+}  // namespace
+
+void TreeQuorumProvider::read_rec(NodeId v, std::uint32_t level,
+                                  std::uint64_t salt,
+                                  std::vector<NodeId>& out) const {
+  auto kids = children(v);
+  if (level == 0 || kids.empty()) {
+    if (alive(v)) {
+      out.push_back(v);
+      return;
+    }
+    // Classic substitution: a dead read-quorum member is replaced by a
+    // majority of its children's read quorums.
+    if (kids.empty()) {
+      throw QuorumUnavailable("dead leaf cannot be substituted");
+    }
+    level = 1;  // fall through to take a majority of children
+  }
+
+  const std::size_t m = kids.size() / 2 + 1;
+  std::size_t got = 0;
+  const std::size_t start = salt % kids.size();
+  for (std::size_t i = 0; i < kids.size() && got < m; ++i) {
+    NodeId c = kids[(start + i) % kids.size()];
+    std::vector<NodeId> sub;
+    try {
+      read_rec(c, level - 1, next_salt(salt, c), sub);
+    } catch (const QuorumUnavailable&) {
+      continue;
+    }
+    out.insert(out.end(), sub.begin(), sub.end());
+    ++got;
+  }
+  if (got < m) {
+    throw QuorumUnavailable("cannot form read majority at node " +
+                            std::to_string(v));
+  }
+}
+
+void TreeQuorumProvider::write_rec(NodeId v, std::uint64_t salt,
+                                   std::vector<NodeId>& out) const {
+  if (!alive(v)) {
+    throw QuorumUnavailable("write quorum member " + std::to_string(v) +
+                            " is dead");
+  }
+  out.push_back(v);
+  auto kids = children(v);
+  if (kids.empty()) return;
+
+  const std::size_t m = kids.size() / 2 + 1;
+  std::size_t got = 0;
+  const std::size_t start = salt % kids.size();
+  for (std::size_t i = 0; i < kids.size() && got < m; ++i) {
+    NodeId c = kids[(start + i) % kids.size()];
+    std::vector<NodeId> sub;
+    try {
+      write_rec(c, next_salt(salt, c), sub);
+    } catch (const QuorumUnavailable&) {
+      continue;
+    }
+    out.insert(out.end(), sub.begin(), sub.end());
+    ++got;
+  }
+  if (got < m) {
+    throw QuorumUnavailable("cannot form write majority under node " +
+                            std::to_string(v));
+  }
+}
+
+std::vector<NodeId> TreeQuorumProvider::read_quorum(NodeId node) const {
+  std::vector<NodeId> out;
+  std::uint64_t salt = cfg_.same_for_all ? 0 : node + 1;
+  read_rec(0, cfg_.read_level, salt, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> TreeQuorumProvider::write_quorum(NodeId node) const {
+  std::vector<NodeId> out;
+  std::uint64_t salt = cfg_.same_for_all ? 0 : node + 1;
+  write_rec(0, salt, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void TreeQuorumProvider::on_failure(NodeId dead) {
+  QRDTM_CHECK(dead < dead_.size());
+  dead_[dead] = true;
+}
+
+// ---------------------------------------------------------------- majority
+
+MajorityQuorumProvider::MajorityQuorumProvider(std::uint32_t num_nodes,
+                                               bool same_for_all)
+    : n_(num_nodes), same_for_all_(same_for_all) {
+  QRDTM_CHECK(n_ >= 1);
+  dead_.assign(n_, false);
+}
+
+std::vector<NodeId> MajorityQuorumProvider::pick(NodeId node,
+                                                 std::size_t count) const {
+  std::vector<NodeId> live;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (!dead_[i]) live.push_back(i);
+  }
+  if (live.size() < count) {
+    throw QuorumUnavailable("not enough live nodes for a majority");
+  }
+  std::vector<NodeId> out;
+  out.reserve(count);
+  std::size_t start = same_for_all_ ? 0 : node % live.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(live[(start + i) % live.size()]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> MajorityQuorumProvider::read_quorum(NodeId node) const {
+  return pick(node, n_ / 2 + 1);
+}
+
+std::vector<NodeId> MajorityQuorumProvider::write_quorum(NodeId node) const {
+  return pick(node, n_ / 2 + 1);
+}
+
+void MajorityQuorumProvider::on_failure(NodeId dead) {
+  QRDTM_CHECK(dead < dead_.size());
+  dead_[dead] = true;
+}
+
+// ---------------------------------------------------------------- flat/fig10
+
+FlatFailureAwareProvider::FlatFailureAwareProvider(std::uint32_t num_nodes)
+    : n_(num_nodes) {
+  QRDTM_CHECK(n_ >= 1);
+  dead_.assign(n_, false);
+}
+
+std::vector<NodeId> FlatFailureAwareProvider::read_quorum(NodeId node) const {
+  std::vector<NodeId> live;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (!dead_[i]) live.push_back(i);
+  }
+  const std::size_t want = failures_ + 1;
+  if (live.size() < want) {
+    throw QuorumUnavailable("fewer live nodes than failures+1");
+  }
+  // Paper §VI-D: "initially, a read quorum consisting of a single node is
+  // assigned to all the nodes" -- the same node, which makes it a service
+  // hotspot.  Once failures grow the quorum, assignments rotate per client
+  // node and "the workload is balanced across the read quorum nodes".
+  std::vector<NodeId> out;
+  out.reserve(want);
+  const std::size_t start = failures_ == 0 ? 0 : node % live.size();
+  for (std::size_t i = 0; i < want; ++i) {
+    out.push_back(live[(start + i) % live.size()]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> FlatFailureAwareProvider::write_quorum(NodeId) const {
+  std::vector<NodeId> live;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (!dead_[i]) live.push_back(i);
+  }
+  if (live.empty()) throw QuorumUnavailable("all nodes dead");
+  return live;
+}
+
+void FlatFailureAwareProvider::on_failure(NodeId dead) {
+  QRDTM_CHECK(dead < dead_.size());
+  if (!dead_[dead]) {
+    dead_[dead] = true;
+    ++failures_;
+  }
+}
+
+}  // namespace qrdtm::quorum

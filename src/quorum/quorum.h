@@ -1,0 +1,135 @@
+// Quorum providers for the QR replication protocol.
+//
+// QR's correctness rests on two properties (paper §II):
+//   (Q1) every read quorum intersects every write quorum, and
+//   (Q2) every pair of write quorums intersects.
+// Q1 gives 1-copy equivalence on reads (some read-quorum member saw the last
+// commit); Q2 serialises writers (the 2PC vote at the intersection node
+// detects protected/newer objects).
+//
+// Three providers are implemented:
+//   * TreeQuorumProvider     -- Agrawal & El Abbadi's tree quorum protocol on
+//     a logical ternary tree (the paper's configuration, Fig. 3).  A read
+//     quorum is a majority of children at one level; a write quorum is a
+//     majority of children at *every* level (rooted).
+//   * MajorityQuorumProvider -- plain majorities, used for ablation.
+//   * FlatFailureAwareProvider -- the Fig. 10 configuration: a read quorum of
+//     (failures + 1) live nodes assigned round-robin per client node, with
+//     the write quorum being all live nodes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace qrdtm::quorum {
+
+using net::NodeId;
+
+/// Thrown when no quorum can be formed from the live nodes.
+class QuorumUnavailable : public std::runtime_error {
+ public:
+  explicit QuorumUnavailable(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class QuorumProvider {
+ public:
+  virtual ~QuorumProvider() = default;
+
+  /// The read quorum designated to transactions running on `node`.
+  virtual std::vector<NodeId> read_quorum(NodeId node) const = 0;
+
+  /// The write quorum designated to transactions running on `node`.
+  virtual std::vector<NodeId> write_quorum(NodeId node) const = 0;
+
+  /// Inform the provider of a fail-stop so later quorums avoid the node.
+  virtual void on_failure(NodeId dead) = 0;
+};
+
+/// Logical complete d-ary tree over nodes 0..n-1 (node 0 = root, children of
+/// i are d*i+1 .. d*i+d).
+class TreeQuorumProvider final : public QuorumProvider {
+ public:
+  struct Config {
+    std::uint32_t num_nodes = 13;
+    std::uint32_t degree = 3;
+    /// Tree level whose members form read quorums (0 = root only).  The
+    /// paper's Fig. 3 example uses level 1 (majority of the root's
+    /// children).
+    std::uint32_t read_level = 1;
+    /// If true every node gets the same quorums (the paper's experimental
+    /// setting); otherwise the majority choices rotate with the node id to
+    /// spread load.
+    bool same_for_all = true;
+  };
+
+  explicit TreeQuorumProvider(Config cfg);
+
+  std::vector<NodeId> read_quorum(NodeId node) const override;
+  std::vector<NodeId> write_quorum(NodeId node) const override;
+  void on_failure(NodeId dead) override;
+
+  std::uint32_t height() const { return height_; }
+
+ private:
+  std::vector<NodeId> children(NodeId v) const;
+  bool alive(NodeId v) const { return !dead_[v]; }
+
+  /// Collect a read quorum for the subtree at v: either descend to `level`
+  /// below, or fall back on deeper levels when members are dead.
+  void read_rec(NodeId v, std::uint32_t level, std::uint64_t salt,
+                std::vector<NodeId>& out) const;
+
+  /// Collect a rooted write quorum for the subtree at v.
+  void write_rec(NodeId v, std::uint64_t salt, std::vector<NodeId>& out) const;
+
+  Config cfg_;
+  std::uint32_t height_;
+  std::vector<bool> dead_;
+};
+
+/// Simple majority quorums: both read and write quorums are any
+/// floor(n/2)+1 live nodes; selection rotates with the node id.
+class MajorityQuorumProvider final : public QuorumProvider {
+ public:
+  MajorityQuorumProvider(std::uint32_t num_nodes, bool same_for_all = true);
+
+  std::vector<NodeId> read_quorum(NodeId node) const override;
+  std::vector<NodeId> write_quorum(NodeId node) const override;
+  void on_failure(NodeId dead) override;
+
+ private:
+  std::vector<NodeId> pick(NodeId node, std::size_t count) const;
+
+  std::uint32_t n_;
+  bool same_for_all_;
+  std::vector<bool> dead_;
+};
+
+/// Fig. 10 policy: |read quorum| = failures+1 live nodes (round-robin per
+/// client node), write quorum = all live nodes.  Intersection is immediate
+/// since every read quorum is a subset of the write quorum.
+class FlatFailureAwareProvider final : public QuorumProvider {
+ public:
+  explicit FlatFailureAwareProvider(std::uint32_t num_nodes);
+
+  std::vector<NodeId> read_quorum(NodeId node) const override;
+  std::vector<NodeId> write_quorum(NodeId node) const override;
+  void on_failure(NodeId dead) override;
+
+  std::uint32_t failures() const { return failures_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t failures_ = 0;
+  std::vector<bool> dead_;
+};
+
+/// Returns true iff the two node sets share at least one member.
+bool intersects(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+
+}  // namespace qrdtm::quorum

@@ -1,0 +1,86 @@
+#include "sim/simulator.h"
+
+#include <exception>
+
+#include "sim/task.h"
+
+namespace qrdtm::sim {
+
+namespace {
+
+/// Self-destroying driver coroutine that owns a detached Task's frame.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }  // drive() never throws
+  };
+};
+
+}  // namespace
+
+struct SpawnDriver {
+  static Detached drive(Simulator* sim, Task<void> task) {
+    try {
+      co_await std::move(task);
+    } catch (...) {
+      // Stash the first failure; Simulator::run rethrows it.  A failing
+      // process is a bug in the experiment, not a recoverable condition.
+      if (!sim->failure_) sim->failure_ = std::current_exception();
+    }
+  }
+};
+
+void Simulator::schedule_at(Tick at, std::function<void()> fn) {
+  QRDTM_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::spawn(Task<void> task) {
+  SpawnDriver::drive(this, std::move(task));
+}
+
+Tick Simulator::run() {
+  drain(kNever);
+  return now_;
+}
+
+Tick Simulator::run_until(Tick deadline) {
+  drain(deadline);
+  stopping_ = true;
+  return now_;
+}
+
+Tick Simulator::advance_to(Tick deadline) {
+  drain(deadline);
+  return now_;
+}
+
+void Simulator::drain(Tick deadline) {
+  while (!queue_.empty()) {
+    if (failure_) {
+      auto f = failure_;
+      failure_ = nullptr;
+      std::rethrow_exception(f);
+    }
+    const Event& top = queue_.top();
+    if (top.at > deadline) break;
+    // Move the callback out before popping: running it may push new events
+    // and invalidate the reference.
+    Tick at = top.at;
+    auto fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    now_ = at;
+    ++events_executed_;
+    fn();
+  }
+  if (failure_) {
+    auto f = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(f);
+  }
+}
+
+}  // namespace qrdtm::sim

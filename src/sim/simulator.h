@@ -1,0 +1,115 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The Simulator owns a time-ordered event queue.  Simulated processes are
+// sim::Task coroutines spawned onto the simulator; they advance simulated
+// time only by awaiting kernel awaitables (delay, futures fulfilled by
+// events).  Determinism guarantees:
+//   * ties in event time are broken by insertion sequence number,
+//   * all randomness comes from seeded Rng streams,
+//   * the kernel itself is single-threaded (one Simulator per experiment
+//    point; sweeps parallelise across Simulators, never within one).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qrdtm::sim {
+
+/// Simulated time in nanoseconds.
+using Tick = std::uint64_t;
+
+constexpr Tick kNever = ~Tick{0};
+
+constexpr Tick usec(double x) { return static_cast<Tick>(x * 1e3); }
+constexpr Tick msec(double x) { return static_cast<Tick>(x * 1e6); }
+constexpr Tick sec(double x) { return static_cast<Tick>(x * 1e9); }
+constexpr double to_seconds(Tick t) { return static_cast<double>(t) * 1e-9; }
+
+template <class T>
+class Task;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Tick now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `at` (>= now).
+  void schedule_at(Tick at, std::function<void()> fn);
+
+  /// Schedule `fn` after a relative delay.
+  void schedule_after(Tick delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Start a detached simulated process.  The process begins executing
+  /// immediately (until its first suspension).  An exception escaping the
+  /// process aborts the simulation: Simulator::run rethrows it.
+  void spawn(Task<void> task);
+
+  /// Run until the event queue drains.  Returns final simulated time.
+  Tick run();
+
+  /// Run until simulated time reaches `deadline` (events at == deadline are
+  /// executed) or the queue drains, whichever is first.  Marks the
+  /// simulation as stopping so long-lived processes wind down.
+  Tick run_until(Tick deadline);
+
+  /// Like run_until but WITHOUT marking the simulation as stopping: use it
+  /// to sample state mid-run (e.g. between injected failures) while
+  /// closed-loop clients keep issuing work.
+  Tick advance_to(Tick deadline);
+
+  /// Ask long-lived processes to wind down (also set by run_until).
+  void request_stop() { stopping_ = true; }
+
+  /// True once run_until passed its deadline (or request_stop was called);
+  /// long-lived processes poll this to wind down.
+  bool stopping() const { return stopping_; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Awaitable: suspend the current process for `delay` simulated time.
+  auto delay(Tick d) {
+    struct Awaiter {
+      Simulator* sim;
+      Tick d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->schedule_after(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void drain(Tick deadline);
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr failure_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+
+  friend struct SpawnDriver;
+};
+
+}  // namespace qrdtm::sim

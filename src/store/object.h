@@ -1,0 +1,26 @@
+// Replicated-object identifiers and copies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace qrdtm::store {
+
+using ObjectId = std::uint64_t;
+using Version = std::uint64_t;
+using TxnId = std::uint64_t;
+
+/// Reserved id used by applications as a "null pointer" inside serialized
+/// structures (never stored or fetched).
+constexpr ObjectId kNullObject = 0;
+
+/// A transaction-local copy of a replicated object, as obtained from a read
+/// quorum (version = highest version among replies; data = that copy).
+struct ObjectCopy {
+  ObjectId id = kNullObject;
+  Version version = 0;
+  Bytes data;
+};
+
+}  // namespace qrdtm::store

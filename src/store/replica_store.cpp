@@ -1,0 +1,95 @@
+#include "store/replica_store.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace qrdtm::store {
+
+const ReplicaEntry* ReplicaStore::find(ObjectId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ReplicaEntry* ReplicaStore::find_mut(ObjectId id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Version ReplicaStore::version_of(ObjectId id) const {
+  const ReplicaEntry* e = find(id);
+  return e ? e->version : 0;
+}
+
+bool ReplicaStore::protected_against(ObjectId id, TxnId txn) const {
+  const ReplicaEntry* e = find(id);
+  return e && e->is_protected && e->protector != txn;
+}
+
+ReplicaEntry& ReplicaStore::get_or_create(ObjectId id) {
+  QRDTM_CHECK_MSG(id != kNullObject, "null object id");
+  return entries_[id];
+}
+
+void ReplicaStore::seed(ObjectId id, Bytes data, Version version) {
+  ReplicaEntry& e = get_or_create(id);
+  e.version = version;
+  e.data = std::move(data);
+  e.is_protected = false;
+}
+
+void ReplicaStore::apply(ObjectId id, Version version, Bytes data) {
+  ReplicaEntry& e = get_or_create(id);
+  if (version > e.version) {
+    e.version = version;
+    e.data = std::move(data);
+  }
+}
+
+void ReplicaStore::protect(ObjectId id, TxnId txn) {
+  ReplicaEntry& e = get_or_create(id);
+  QRDTM_CHECK_MSG(!e.is_protected || e.protector == txn,
+                  "protect over another transaction's protection");
+  e.is_protected = true;
+  e.protector = txn;
+}
+
+void ReplicaStore::unprotect(ObjectId id, TxnId txn) {
+  ReplicaEntry* e = find_mut(id);
+  if (e && e->is_protected && e->protector == txn) {
+    e->is_protected = false;
+    e->protector = 0;
+  }
+}
+
+void ReplicaStore::add_reader(ObjectId id, TxnId txn) {
+  get_or_create(id).pr.insert(txn);
+  txn_objects_[txn].insert(id);
+}
+
+void ReplicaStore::add_writer(ObjectId id, TxnId txn) {
+  get_or_create(id).pw.insert(txn);
+  txn_objects_[txn].insert(id);
+}
+
+void ReplicaStore::drop_txn(TxnId txn) {
+  auto it = txn_objects_.find(txn);
+  if (it == txn_objects_.end()) return;
+  for (ObjectId id : it->second) {
+    if (ReplicaEntry* e = find_mut(id)) {
+      e->pr.erase(txn);
+      e->pw.erase(txn);
+    }
+  }
+  txn_objects_.erase(it);
+}
+
+std::size_t ReplicaStore::tracked_txn_entries() const {
+  std::size_t total = 0;
+  for (const auto& [id, e] : entries_) {
+    total += e.pr.size() + e.pw.size();
+  }
+  return total;
+}
+
+}  // namespace qrdtm::store

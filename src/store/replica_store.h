@@ -1,0 +1,83 @@
+// Per-node versioned object store (one per replica).
+//
+// In QR every node keeps a copy of every object (paper §III-B property 1),
+// though copies may be stale: only the members of the committing write
+// quorum receive a new version.  Each entry carries:
+//   * version + data    -- the replica's (possibly stale) copy,
+//   * protected flag    -- set between a 2PC commit vote and the confirm
+//     (the paper's `protected` object field),
+//   * PR / PW           -- potential readers / writers lists, bookkeeping
+//     consumed by contention management (paper §II).
+//
+// An object a replica has never heard of behaves as version 0: validation
+// treats the replica as maximally stale for it, which is safe (Q1 guarantees
+// some quorum member is up to date).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "store/object.h"
+
+namespace qrdtm::store {
+
+struct ReplicaEntry {
+  Version version = 0;
+  Bytes data;
+  bool is_protected = false;
+  TxnId protector = 0;
+  std::set<TxnId> pr;  // potential readers
+  std::set<TxnId> pw;  // potential writers
+};
+
+class ReplicaStore {
+ public:
+  /// Looks up an entry; nullptr when the replica has no copy.
+  const ReplicaEntry* find(ObjectId id) const;
+  ReplicaEntry* find_mut(ObjectId id);
+
+  /// The replica's version for validation purposes (0 when absent).
+  Version version_of(ObjectId id) const;
+
+  /// True when the object is protected by a transaction other than `txn`.
+  bool protected_against(ObjectId id, TxnId txn) const;
+
+  /// Install an initial object at setup time (bypasses the protocol; used
+  /// to seed benchmark data structures before the run starts).
+  void seed(ObjectId id, Bytes data, Version version = 1);
+
+  /// Apply a committed write: fast-forwards the copy iff `version` is newer
+  /// (a stale replica may receive confirms out of order across objects).
+  void apply(ObjectId id, Version version, Bytes data);
+
+  /// 2PC vote bookkeeping.
+  void protect(ObjectId id, TxnId txn);
+  /// Clears protection iff held by `txn` (confirms may arrive after a
+  /// competing transaction re-protected the object).
+  void unprotect(ObjectId id, TxnId txn);
+
+  /// PR/PW maintenance (root transactions only, paper Alg. 2 line 17-18).
+  void add_reader(ObjectId id, TxnId txn);
+  void add_writer(ObjectId id, TxnId txn);
+  /// Drop `txn` from the PR/PW lists of every object (validation failure,
+  /// commit, or abort; paper Alg. 1 line 8).
+  void drop_txn(TxnId txn);
+
+  std::size_t num_objects() const { return entries_.size(); }
+
+  /// Total PR+PW membership across all entries (test observability).
+  std::size_t tracked_txn_entries() const;
+
+ private:
+  ReplicaEntry& get_or_create(ObjectId id);
+
+  std::unordered_map<ObjectId, ReplicaEntry> entries_;
+  // Reverse index so drop_txn does not scan the whole store.
+  std::unordered_map<TxnId, std::set<ObjectId>> txn_objects_;
+};
+
+}  // namespace qrdtm::store

@@ -1,0 +1,109 @@
+// Unit tests for the QR-ON abstract-lock manager (core/abstract_locks.h).
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+#include "core/abstract_locks.h"
+#include "net/latency.h"
+#include "sim/task.h"
+
+namespace qrdtm::core {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<net::RpcEndpoint> client;
+  std::unique_ptr<net::RpcEndpoint> server_ep;
+  std::unique_ptr<LockManager> locks;
+
+  Rig() {
+    net = std::make_unique<net::Network>(
+        sim, std::make_unique<net::UniformLatency>(sim::msec(1)), 1,
+        sim::usec(10));
+    client = std::make_unique<net::RpcEndpoint>(sim, *net);
+    server_ep = std::make_unique<net::RpcEndpoint>(sim, *net);
+    locks = std::make_unique<LockManager>(*server_ep);
+  }
+
+  bool acquire(AbstractLockId lock, TxnId root) {
+    Writer w;
+    w.u64(lock);
+    w.u64(root);
+    bool granted = false;
+    sim.spawn([](Rig* rig, Bytes req, bool* out) -> sim::Task<void> {
+      auto res = co_await rig->client->call(rig->server_ep->id(),
+                                            msg::kLockAcquire, std::move(req),
+                                            sim::sec(1));
+      Reader r(res.payload);
+      *out = r.boolean();
+    }(this, std::move(w).take(), &granted));
+    sim.run();
+    return granted;
+  }
+
+  void release(AbstractLockId lock, TxnId root) {
+    Writer w;
+    w.u64(lock);
+    w.u64(root);
+    client->notify(server_ep->id(), msg::kLockRelease, std::move(w).take());
+    sim.run();
+  }
+};
+
+TEST(AbstractLocks, GrantDenyReleaseCycle) {
+  Rig rig;
+  EXPECT_TRUE(rig.acquire(5, 100));
+  EXPECT_TRUE(rig.locks->is_held(5));
+  EXPECT_EQ(rig.locks->holder_of(5), 100u);
+
+  EXPECT_FALSE(rig.acquire(5, 200)) << "competing root must be denied";
+  EXPECT_EQ(rig.locks->holder_of(5), 100u);
+
+  rig.release(5, 100);
+  EXPECT_FALSE(rig.locks->is_held(5));
+  EXPECT_TRUE(rig.acquire(5, 200));
+}
+
+TEST(AbstractLocks, ReentrantForSameRoot) {
+  Rig rig;
+  EXPECT_TRUE(rig.acquire(5, 100));
+  EXPECT_TRUE(rig.acquire(5, 100));
+  EXPECT_EQ(rig.locks->held_count(), 1u);
+}
+
+TEST(AbstractLocks, ForeignReleaseIsIgnored) {
+  Rig rig;
+  ASSERT_TRUE(rig.acquire(5, 100));
+  rig.release(5, 999);  // not the holder
+  EXPECT_TRUE(rig.locks->is_held(5));
+  EXPECT_EQ(rig.locks->holder_of(5), 100u);
+}
+
+TEST(AbstractLocks, IndependentLocksCoexist) {
+  Rig rig;
+  EXPECT_TRUE(rig.acquire(1, 100));
+  EXPECT_TRUE(rig.acquire(2, 200));
+  EXPECT_TRUE(rig.acquire(3, 100));
+  EXPECT_EQ(rig.locks->held_count(), 3u);
+  EXPECT_EQ(rig.locks->holder_of(2), 200u);
+}
+
+TEST(AbstractLocks, ReleaseOfUnknownLockIsNoOp) {
+  Rig rig;
+  rig.release(42, 100);
+  EXPECT_EQ(rig.locks->held_count(), 0u);
+}
+
+TEST(AbstractLocks, HomePlacementIsStableAndInRange) {
+  for (std::uint32_t n : {1u, 4u, 13u, 40u}) {
+    for (AbstractLockId lock = 0; lock < 100; ++lock) {
+      net::NodeId h1 = lock_home(lock, n);
+      net::NodeId h2 = lock_home(lock, n);
+      EXPECT_EQ(h1, h2);
+      EXPECT_LT(h1, n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qrdtm::core

@@ -1,0 +1,214 @@
+// Unit and property tests for quorum providers (quorum/).
+#include "quorum/quorum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace qrdtm::quorum {
+namespace {
+
+TreeQuorumProvider::Config tree_cfg(std::uint32_t n, std::uint32_t level = 1,
+                                    bool same = true, std::uint32_t degree = 3) {
+  TreeQuorumProvider::Config c;
+  c.num_nodes = n;
+  c.degree = degree;
+  c.read_level = level;
+  c.same_for_all = same;
+  return c;
+}
+
+TEST(TreeQuorum, PaperFig3Shapes) {
+  // 13-node ternary tree (paper Fig. 3): read quorum = majority of the
+  // root's children (2 nodes), write quorum = rooted majority at every
+  // level (7 nodes).
+  TreeQuorumProvider q(tree_cfg(13));
+  auto rq = q.read_quorum(0);
+  auto wq = q.write_quorum(0);
+  EXPECT_EQ(rq.size(), 2u);
+  EXPECT_EQ(wq.size(), 7u);
+  EXPECT_TRUE(std::find(wq.begin(), wq.end(), 0u) != wq.end())
+      << "write quorum must contain the root";
+  EXPECT_TRUE(intersects(rq, wq));
+}
+
+TEST(TreeQuorum, ReadLevelZeroIsRootOnly) {
+  TreeQuorumProvider q(tree_cfg(13, /*level=*/0));
+  auto rq = q.read_quorum(0);
+  EXPECT_EQ(rq, std::vector<net::NodeId>{0});
+}
+
+TEST(TreeQuorum, ReadLevelTwoIsLeafMajorities) {
+  TreeQuorumProvider q(tree_cfg(13, /*level=*/2));
+  auto rq = q.read_quorum(0);
+  // Majority of root's children (2), then majority of each one's children
+  // (2 each) = 4 leaves.
+  EXPECT_EQ(rq.size(), 4u);
+  auto wq = q.write_quorum(0);
+  EXPECT_TRUE(intersects(rq, wq));
+}
+
+TEST(TreeQuorum, SingleNodeTree) {
+  TreeQuorumProvider q(tree_cfg(1, /*level=*/0));
+  EXPECT_EQ(q.read_quorum(0), std::vector<net::NodeId>{0});
+  EXPECT_EQ(q.write_quorum(0), std::vector<net::NodeId>{0});
+}
+
+TEST(TreeQuorum, RotationSpreadsLoadButPreservesIntersection) {
+  auto cfg = tree_cfg(13);
+  cfg.same_for_all = false;
+  TreeQuorumProvider q(cfg);
+  std::set<std::vector<net::NodeId>> distinct;
+  for (net::NodeId n = 0; n < 13; ++n) {
+    distinct.insert(q.read_quorum(n));
+  }
+  EXPECT_GT(distinct.size(), 1u) << "rotation should vary quorums";
+  for (net::NodeId a = 0; a < 13; ++a) {
+    for (net::NodeId b = 0; b < 13; ++b) {
+      EXPECT_TRUE(intersects(q.read_quorum(a), q.write_quorum(b)))
+          << "R(" << a << ") vs W(" << b << ")";
+      EXPECT_TRUE(intersects(q.write_quorum(a), q.write_quorum(b)));
+    }
+  }
+}
+
+// Property: Q1 (read/write intersection) and Q2 (write/write intersection)
+// hold for every tree size, read level, degree, and rotation.
+class TreeQuorumProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TreeQuorumProperty, IntersectionInvariants) {
+  const auto [num_nodes, read_level, degree] = GetParam();
+  auto cfg = tree_cfg(num_nodes, read_level, /*same=*/false, degree);
+  TreeQuorumProvider q(cfg);
+  for (net::NodeId a = 0; a < cfg.num_nodes; ++a) {
+    auto rq = q.read_quorum(a);
+    EXPECT_FALSE(rq.empty());
+    for (net::NodeId b = 0; b < cfg.num_nodes; ++b) {
+      ASSERT_TRUE(intersects(rq, q.write_quorum(b)))
+          << "n=" << num_nodes << " level=" << read_level << " R(" << a
+          << ") W(" << b << ")";
+      ASSERT_TRUE(intersects(q.write_quorum(a), q.write_quorum(b)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeQuorumProperty,
+    ::testing::Values(std::tuple{1, 0, 3}, std::tuple{4, 1, 3},
+                      std::tuple{7, 1, 3}, std::tuple{13, 0, 3},
+                      std::tuple{13, 1, 3}, std::tuple{13, 2, 3},
+                      std::tuple{28, 1, 3}, std::tuple{28, 2, 3},
+                      std::tuple{40, 1, 3}, std::tuple{40, 2, 3},
+                      std::tuple{40, 3, 3},
+                      // binary and quaternary trees
+                      std::tuple{7, 1, 2}, std::tuple{15, 2, 2},
+                      std::tuple{31, 3, 2}, std::tuple{21, 1, 4},
+                      std::tuple{21, 2, 4}, std::tuple{40, 1, 5}));
+
+TEST(TreeQuorum, SurvivesLeafFailures) {
+  TreeQuorumProvider q(tree_cfg(13, /*level=*/2));
+  q.on_failure(4);
+  q.on_failure(7);
+  auto rq = q.read_quorum(0);
+  auto wq = q.write_quorum(0);
+  EXPECT_TRUE(intersects(rq, wq));
+  for (net::NodeId dead : {4u, 7u}) {
+    EXPECT_TRUE(std::find(rq.begin(), rq.end(), dead) == rq.end());
+    EXPECT_TRUE(std::find(wq.begin(), wq.end(), dead) == wq.end());
+  }
+}
+
+TEST(TreeQuorum, ReadQuorumSubstitutesDeadInternalNode) {
+  // Kill n1: a level-1 read quorum must replace it with a majority of its
+  // children (or use other root children).
+  TreeQuorumProvider q(tree_cfg(13, /*level=*/1));
+  q.on_failure(1);
+  auto rq = q.read_quorum(0);
+  EXPECT_TRUE(std::find(rq.begin(), rq.end(), 1u) == rq.end());
+  auto wq = q.write_quorum(0);
+  EXPECT_TRUE(intersects(rq, wq));
+}
+
+TEST(TreeQuorum, RootDeathBlocksWrites) {
+  TreeQuorumProvider q(tree_cfg(13));
+  q.on_failure(0);
+  EXPECT_THROW(q.write_quorum(0), QuorumUnavailable);
+  // Reads survive root death (substitution by child majorities).
+  EXPECT_NO_THROW(q.read_quorum(0));
+}
+
+TEST(MajorityQuorum, SizesAndIntersection) {
+  MajorityQuorumProvider q(10, /*same_for_all=*/false);
+  for (net::NodeId a = 0; a < 10; ++a) {
+    EXPECT_EQ(q.read_quorum(a).size(), 6u);
+    for (net::NodeId b = 0; b < 10; ++b) {
+      EXPECT_TRUE(intersects(q.read_quorum(a), q.write_quorum(b)));
+    }
+  }
+}
+
+TEST(MajorityQuorum, FailuresShrinkPool) {
+  MajorityQuorumProvider q(5);
+  q.on_failure(0);
+  q.on_failure(1);
+  auto rq = q.read_quorum(2);  // needs 3 of the remaining 3
+  EXPECT_EQ(rq.size(), 3u);
+  q.on_failure(2);
+  EXPECT_THROW(q.read_quorum(3), QuorumUnavailable);
+}
+
+TEST(FlatFailureAware, ReadQuorumGrowsWithFailures) {
+  FlatFailureAwareProvider q(28);
+  EXPECT_EQ(q.read_quorum(0).size(), 1u);
+  q.on_failure(3);
+  EXPECT_EQ(q.read_quorum(0).size(), 2u);
+  q.on_failure(4);
+  q.on_failure(5);
+  EXPECT_EQ(q.read_quorum(0).size(), 4u);
+  EXPECT_EQ(q.write_quorum(0).size(), 25u);
+}
+
+TEST(FlatFailureAware, QuorumsAvoidDeadAndIntersect) {
+  FlatFailureAwareProvider q(28);
+  for (net::NodeId dead = 0; dead < 8; ++dead) {
+    q.on_failure(dead);
+    for (net::NodeId n = 0; n < 28; ++n) {
+      auto rq = q.read_quorum(n);
+      auto wq = q.write_quorum(n);
+      EXPECT_TRUE(intersects(rq, wq));
+      for (net::NodeId d = 0; d <= dead; ++d) {
+        EXPECT_TRUE(std::find(rq.begin(), rq.end(), d) == rq.end());
+      }
+    }
+  }
+}
+
+TEST(FlatFailureAware, SingleSharedHotspotBeforeFailures) {
+  // Paper §VI-D: initially one single-node read quorum is assigned to ALL
+  // nodes (a deliberate hotspot).
+  FlatFailureAwareProvider q(28);
+  std::set<std::vector<net::NodeId>> distinct;
+  for (net::NodeId n = 0; n < 28; ++n) distinct.insert(q.read_quorum(n));
+  EXPECT_EQ(distinct.size(), 1u);
+}
+
+TEST(FlatFailureAware, SpreadsReadQuorumsAfterFailures) {
+  // Once the quorum grows, assignments rotate per client node so "the
+  // workload is balanced across the read quorum nodes".
+  FlatFailureAwareProvider q(28);
+  q.on_failure(27);
+  std::set<std::vector<net::NodeId>> distinct;
+  for (net::NodeId n = 0; n < 27; ++n) distinct.insert(q.read_quorum(n));
+  EXPECT_GT(distinct.size(), 10u);
+}
+
+TEST(Intersects, Basics) {
+  EXPECT_TRUE(intersects({1, 2, 3}, {3, 4}));
+  EXPECT_FALSE(intersects({1, 2}, {3, 4}));
+  EXPECT_FALSE(intersects({}, {1}));
+}
+
+}  // namespace
+}  // namespace qrdtm::quorum

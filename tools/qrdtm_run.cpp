@@ -1,0 +1,150 @@
+// qrdtm_run -- command-line experiment runner.
+//
+// Runs one deterministic simulation point with every knob on the command
+// line and prints the full metric breakdown; the quickest way to explore
+// the design space beyond the fixed paper figures.
+//
+//   $ qrdtm_run --app slist --mode closed --nodes 13 --clients 8 \
+//               --reads 0.2 --calls 3 --objects 128 --seconds 60 --seed 1
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/harness.h"
+
+using namespace qrdtm;
+using namespace qrdtm::bench;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: qrdtm_run [options]\n"
+      "  --app NAME        bank|hashmap|slist|rbtree|bst|vacation "
+      "(default bank)\n"
+      "  --mode MODE       flat|closed|checkpoint (default flat)\n"
+      "  --nodes N         cluster size (default 13)\n"
+      "  --clients N       closed-loop clients (default 8)\n"
+      "  --reads F         read ratio 0..1 (default 0.2)\n"
+      "  --calls N         nested calls per transaction (default 3)\n"
+      "  --objects N       app population (default: per-app)\n"
+      "  --seconds S       simulated duration (default 60)\n"
+      "  --seed N          deterministic seed (default 1)\n"
+      "  --quorum KIND     tree|majority|flat-failure (default tree)\n"
+      "  --read-level N    tree read level (default 1)\n"
+      "  --failures N      fail-stops before the run (default 0)\n"
+      "  --chk-threshold N objects per checkpoint (default 1)\n");
+}
+
+bool parse(int argc, char** argv, ExperimentConfig& cfg) {
+  cfg.params.num_objects = 0;  // sentinel: fill from default_objects
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return false;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    std::string val = argv[++i];
+    if (flag == "--app") {
+      cfg.app = val;
+    } else if (flag == "--mode") {
+      if (val == "flat") {
+        cfg.mode = core::NestingMode::kFlat;
+      } else if (val == "closed") {
+        cfg.mode = core::NestingMode::kClosed;
+      } else if (val == "checkpoint" || val == "chk") {
+        cfg.mode = core::NestingMode::kCheckpoint;
+      } else {
+        std::fprintf(stderr, "unknown mode %s\n", val.c_str());
+        return false;
+      }
+    } else if (flag == "--nodes") {
+      cfg.num_nodes = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--clients") {
+      cfg.clients = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--reads") {
+      cfg.params.read_ratio = std::atof(val.c_str());
+    } else if (flag == "--calls") {
+      cfg.params.nested_calls =
+          static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--objects") {
+      cfg.params.num_objects =
+          static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--seconds") {
+      cfg.duration = sim::sec(std::atof(val.c_str()));
+    } else if (flag == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(val.c_str()));
+    } else if (flag == "--quorum") {
+      if (val == "tree") {
+        cfg.quorum = core::QuorumKind::kTree;
+      } else if (val == "majority") {
+        cfg.quorum = core::QuorumKind::kMajority;
+      } else if (val == "flat-failure") {
+        cfg.quorum = core::QuorumKind::kFlatFailureAware;
+      } else {
+        std::fprintf(stderr, "unknown quorum %s\n", val.c_str());
+        return false;
+      }
+    } else if (flag == "--read-level") {
+      cfg.tree_read_level =
+          static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--failures") {
+      cfg.failures = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--chk-threshold") {
+      cfg.chk_threshold = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (cfg.params.num_objects == 0) {
+    cfg.params.num_objects = default_objects(cfg.app);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg;
+  cfg.duration = sim::sec(60);
+  if (!parse(argc, argv, cfg)) {
+    usage();
+    return 2;
+  }
+
+  std::printf("app=%s mode=%s nodes=%u clients=%u reads=%.2f calls=%u "
+              "objects=%u seed=%llu\n",
+              cfg.app.c_str(), core::to_string(cfg.mode), cfg.num_nodes,
+              cfg.clients, cfg.params.read_ratio, cfg.params.nested_calls,
+              cfg.params.num_objects,
+              static_cast<unsigned long long>(cfg.seed));
+
+  ExperimentResult r = run_experiment(cfg);
+
+  std::printf("throughput        %10.2f txn/s\n", r.throughput);
+  std::printf("commits           %10llu\n",
+              static_cast<unsigned long long>(r.commits));
+  std::printf("root aborts       %10llu\n",
+              static_cast<unsigned long long>(r.root_aborts));
+  std::printf("ct retries        %10llu\n",
+              static_cast<unsigned long long>(r.ct_aborts));
+  std::printf("partial rollbacks %10llu\n",
+              static_cast<unsigned long long>(r.partial_rollbacks));
+  std::printf("checkpoints       %10llu\n",
+              static_cast<unsigned long long>(r.checkpoints));
+  std::printf("vote aborts       %10llu\n",
+              static_cast<unsigned long long>(r.vote_aborts));
+  std::printf("rqv failures      %10llu\n",
+              static_cast<unsigned long long>(r.validation_failures));
+  std::printf("read messages     %10llu\n",
+              static_cast<unsigned long long>(r.read_messages));
+  std::printf("commit messages   %10llu\n",
+              static_cast<unsigned long long>(r.commit_messages));
+  std::printf("aborts/commit     %10.2f\n", r.abort_rate());
+  std::printf("msgs/commit       %10.1f\n", r.messages_per_commit());
+  std::printf("invariants        %10s\n", r.invariants_ok ? "OK" : "VIOLATED");
+  return r.invariants_ok ? 0 : 1;
+}
