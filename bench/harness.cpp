@@ -1,5 +1,6 @@
 #include "bench/harness.h"
 
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <thread>
@@ -49,9 +50,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     });
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   cluster.run_for(cfg.duration);
+  const auto wall_end = std::chrono::steady_clock::now();
 
   ExperimentResult res;
+  res.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  res.events_executed = cluster.simulator().events_executed();
   res.commits = cluster.metrics().commits;
   res.root_aborts = cluster.metrics().root_aborts;
   res.ct_aborts = cluster.metrics().ct_aborts;

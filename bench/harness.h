@@ -59,6 +59,17 @@ struct ExperimentResult {
   std::uint64_t commit_messages = 0;
   bool invariants_ok = false;
 
+  /// Kernel-side cost of the point: host wall-clock for the workload phase
+  /// (excludes the quiesce/checker runs) and simulator events executed,
+  /// giving an events/sec figure comparable across kernel changes.
+  double wall_seconds = 0;
+  std::uint64_t events_executed = 0;
+  double events_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(events_executed) /
+                                  wall_seconds
+                            : 0.0;
+  }
+
   std::uint64_t total_aborts() const {
     return root_aborts + ct_aborts + partial_rollbacks;
   }

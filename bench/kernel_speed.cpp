@@ -1,0 +1,139 @@
+// Hot-path microbenchmarks for the simulation substrate itself: raw kernel
+// event throughput, RPC round-trips, and Rqv remote reads as the carried
+// data-set grows.  These are the three paths every experiment in the
+// reproduction funnels through; BENCH_kernel.json (emitted by qrdtm_run
+// --bench-json and by --benchmark_out here) tracks their trajectory across
+// perf PRs.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "net/latency.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace qrdtm {
+namespace {
+
+// ----------------------------------------------------------------- kernel
+
+/// Self-rescheduling timer chain: one live event at a time, so this measures
+/// pure schedule+fire cost (pool hit, heap push/pop, callable dispatch).
+struct Chain {
+  sim::Simulator* s;
+  std::uint64_t left;
+  void operator()() {
+    if (left-- > 1) s->schedule_after(1, *this);
+  }
+};
+
+void BM_KernelEventChain(benchmark::State& state) {
+  constexpr std::uint64_t kEvents = 1 << 17;
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.schedule_after(1, Chain{&s, kEvents});
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEvents));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.items_processed()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelEventChain);
+
+/// Wide heap: many pending events at once (the steady state of a cluster
+/// with in-flight messages), exercising sift-up/down under load.
+void BM_KernelEventHeap(benchmark::State& state) {
+  constexpr std::uint64_t kPending = 4096;
+  constexpr std::uint64_t kRounds = 64;
+  for (auto _ : state) {
+    sim::Simulator s;
+    // Seed kPending staggered chains; each reschedules itself kRounds times.
+    for (std::uint64_t i = 0; i < kPending; ++i) {
+      s.schedule_at(1 + (i * 2654435761u) % 100000, Chain{&s, kRounds});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPending * kRounds));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.items_processed()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelEventHeap);
+
+// -------------------------------------------------------------------- rpc
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  constexpr std::uint64_t kCalls = 4096;
+  sim::Simulator s;
+  net::Network net(s, std::make_unique<net::UniformLatency>(sim::usec(10), 0),
+                   /*seed=*/7, /*service_time=*/sim::usec(1));
+  net::RpcEndpoint client(s, net);
+  net::RpcEndpoint server(s, net);
+  server.register_service(
+      42, [](net::NodeId, const Bytes& req) -> std::optional<Bytes> {
+        return req;  // echo
+      });
+  for (auto _ : state) {
+    s.spawn([](net::RpcEndpoint* cl, net::NodeId dst) -> sim::Task<void> {
+      Bytes req{1, 2, 3, 4, 5, 6, 7, 8};
+      for (std::uint64_t i = 0; i < kCalls; ++i) {
+        auto fut = cl->call(dst, 42, req, sim::sec(1));
+        net::RpcResult res = co_await fut;
+        benchmark::DoNotOptimize(res.ok);
+      }
+    }(&client, server.id()));
+    s.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kCalls));
+  state.counters["rpc_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.items_processed()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RpcRoundTrip);
+
+// -------------------------------------------------------- Rqv remote reads
+
+/// Remote reads under QR-CN while the transaction's data-set grows to the
+/// given size: every read ships the full data-set (Rqv), so per-read cost is
+/// dominated by data-set collection + encoding.
+void BM_ReadWithDataSet(benchmark::State& state) {
+  const std::uint32_t dataset = static_cast<std::uint32_t>(state.range(0));
+  core::ClusterConfig cc;
+  cc.num_nodes = 4;
+  cc.runtime.mode = core::NestingMode::kClosed;
+  cc.link_latency = sim::usec(10);
+  cc.link_jitter = 0;
+  cc.service_time = sim::usec(1);
+  core::Cluster cluster(cc);
+  std::vector<core::ObjectId> ids;
+  ids.reserve(dataset);
+  for (std::uint32_t i = 0; i < dataset; ++i) {
+    ids.push_back(cluster.seed_new_object(Bytes(16, 0xAB)));
+  }
+  for (auto _ : state) {
+    cluster.spawn_client(0, [&ids](core::Txn& t) -> sim::Task<void> {
+      for (core::ObjectId id : ids) {
+        Bytes b = co_await t.read(id);
+        benchmark::DoNotOptimize(b.size());
+      }
+    });
+    cluster.run_to_completion();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dataset));
+  state.counters["reads_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.items_processed()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReadWithDataSet)->Arg(4)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace qrdtm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Allocation-recycling primitives for the hot paths.
+//
+// The simulation substrate (event kernel, RPC layer, wire encoding) aims for
+// zero steady-state heap allocation: after a short warm-up every per-event /
+// per-message allocation is served from a free list instead of the global
+// heap.  Two building blocks live here:
+//
+//   * BufferPool    -- recycles Bytes buffers (wire payloads).  A released
+//     buffer keeps its capacity, so a warm pool serves every encode without
+//     touching the allocator.  One pool per Network; all nodes of a
+//     simulation share it (the simulation is single-threaded).
+//   * PoolAllocator -- a std-compatible allocator backed by a per-type,
+//     per-thread free list.  Used for the Promise shared state (one per RPC)
+//     and the transaction read/write-set map nodes (one per fetched object).
+//     Thread-local is the right scope: sweeps parallelise across Simulators,
+//     one per thread, and a thread's free list survives across experiment
+//     points.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace qrdtm {
+
+/// Recycles Bytes buffers.  acquire() returns an empty buffer that keeps the
+/// capacity it had when released, so steady-state encode paths never grow.
+class BufferPool {
+ public:
+  Bytes acquire(std::size_t reserve_hint = 0) {
+    Bytes b;
+    if (!free_.empty()) {
+      b = std::move(free_.back());
+      free_.pop_back();
+      b.clear();
+    }
+    if (reserve_hint > b.capacity()) b.reserve(reserve_hint);
+    return b;
+  }
+
+  /// Hand a buffer back.  Cheap to call with a moved-from or tiny buffer;
+  /// those are dropped rather than pooled.
+  void release(Bytes&& b) {
+    if (b.capacity() == 0) return;
+    if (free_.size() < kMaxPooled) {
+      free_.push_back(std::move(b));
+    }
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+
+ private:
+  // Enough for every in-flight payload of a large cluster; beyond this,
+  // buffers are simply freed.
+  static constexpr std::size_t kMaxPooled = 1024;
+  std::vector<Bytes> free_;
+};
+
+/// std allocator recycling single-object allocations through a per-type
+/// thread-local free list.  Array allocations fall through to the heap.
+template <class T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <class U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      auto& fl = freelist();
+      if (!fl.empty()) {
+        void* p = fl.back();
+        fl.pop_back();
+        return static_cast<T*>(p);
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      auto& fl = freelist();
+      if (fl.size() < kMaxPooled) {
+        fl.push_back(p);
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+
+  template <class U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 4096;
+  static std::vector<void*>& freelist() {
+    static thread_local std::vector<void*> fl;
+    return fl;
+  }
+};
+
+}  // namespace qrdtm

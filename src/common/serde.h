@@ -13,6 +13,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -28,6 +29,13 @@ class SerdeError : public std::runtime_error {
 class Writer {
  public:
   Writer() = default;
+
+  /// Adopt `reuse` as the backing buffer (cleared, capacity retained).  Pair
+  /// with a BufferPool to encode without allocating in steady state.
+  explicit Writer(Bytes reuse) : buf_(std::move(reuse)) { buf_.clear(); }
+
+  /// Pre-size the buffer for an encode of known (or estimated) size.
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { put_le(v); }

@@ -4,15 +4,21 @@
 
 namespace qrdtm::core {
 
-QrServer::QrServer(net::RpcEndpoint& rpc) : id_(rpc.id()) {
+QrServer::QrServer(net::RpcEndpoint& rpc) : rpc_(rpc), id_(rpc.id()) {
+  // Replies are encoded into pooled buffers: in steady state a replica
+  // serves reads and votes without touching the allocator.
   rpc.register_service(msg::kRead,
                        [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
-                         return handle_read(ReadRequest::decode(b)).encode();
+                         Writer w(rpc_.acquire_buffer(msg::kRead));
+                         handle_read(ReadRequest::decode(b)).encode_into(w);
+                         return std::move(w).take();
                        });
   rpc.register_service(
       msg::kCommitRequest,
       [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
-        return handle_commit_request(CommitRequest::decode(b)).encode();
+        Writer w(rpc_.acquire_buffer(msg::kCommitRequest));
+        handle_commit_request(CommitRequest::decode(b)).encode_into(w);
+        return std::move(w).take();
       });
   rpc.register_service(
       msg::kCommitConfirm,

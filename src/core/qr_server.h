@@ -45,6 +45,7 @@ class QrServer {
   /// data-set entry is invalid on this replica, nullopt when valid.
   std::optional<ReadResponse> validate(const ReadRequest& req);
 
+  net::RpcEndpoint& rpc_;
   net::NodeId id_;
   store::ReplicaStore store_;
   std::uint64_t validation_failures_ = 0;

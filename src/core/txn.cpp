@@ -19,7 +19,8 @@ Txn::Txn(TxnRuntime& rt, Txn* parent)
     : rt_(rt),
       parent_(parent),
       scope_id_(rt.next_scope_id()),
-      depth_(parent ? parent->depth_ + 1 : 0) {}
+      depth_(parent ? parent->depth_ + 1 : 0),
+      dataset_mark_(parent ? parent->root().dataset_cache_.size() : 0) {}
 
 Rng& Txn::rng() { return rt_.rng(); }
 
@@ -77,44 +78,25 @@ const OwnedCopy* Txn::find_local(ObjectId id, bool* from_writeset) const {
   return nullptr;
 }
 
-std::vector<DataSetEntry> Txn::collect_dataset() const {
-  // Walk root -> self so shallow owners appear first (order is irrelevant to
-  // the replica but deterministic for tests).
-  std::vector<const Txn*> chain;
-  for (const Txn* t = this; t != nullptr; t = t->parent_) chain.push_back(t);
-  std::reverse(chain.begin(), chain.end());
-
-  std::vector<DataSetEntry> out;
-  for (const Txn* t : chain) {
-    for (const auto& [id, oc] : t->readset_) {
-      out.push_back(DataSetEntry{id, oc.copy.version, oc.owner,
-                                 oc.owner_depth, oc.owner_chk});
-    }
-    for (const auto& [id, oc] : t->writeset_) {
-      out.push_back(DataSetEntry{id, oc.copy.version, oc.owner,
-                                 oc.owner_depth, oc.owner_chk});
-    }
-  }
-  return out;
-}
-
 sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
   const RuntimeConfig& cfg = rt_.config();
   Txn& r = root();
 
-  ReadRequest req;
-  req.root = r.scope_id_;
-  req.mode = cfg.mode;
-  req.object = id;
-  req.for_write = for_write;
-  if (cfg.mode != NestingMode::kFlat) req.dataset = collect_dataset();
+  // Encode straight from the root's materialised data-set into a pooled
+  // buffer: no ReadRequest struct, no per-fetch data-set rebuild.
+  static const std::vector<DataSetEntry> kNoDataSet;
+  const std::vector<DataSetEntry>& ds =
+      cfg.mode != NestingMode::kFlat ? dataset() : kNoDataSet;
+  Writer w(rt_.rpc_.acquire_buffer(msg::kRead));
+  encode_read_request(w, r.scope_id_, cfg.mode, id, for_write, ds);
 
-  const auto rq = rt_.quorums_.read_quorum(rt_.node());
+  const auto& rq = rt_.read_quorum();
   ++rt_.metrics().remote_reads;
   rt_.metrics().read_messages += rq.size();
 
-  auto futures =
-      rt_.rpc_.multicast(rq, msg::kRead, req.encode(), cfg.rpc_timeout);
+  Bytes encoded = std::move(w).take();
+  auto futures = rt_.rpc_.multicast(rq, msg::kRead, encoded, cfg.rpc_timeout);
+  rt_.rpc_.release_buffer(std::move(encoded));
 
   bool have_best = false;
   ObjectCopy best;
@@ -130,6 +112,7 @@ sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
     if (!res.ok) continue;  // dead member or lost reply
     ++ok_replies;
     ReadResponse resp = ReadResponse::decode(res.payload);
+    rt_.rpc_.release_buffer(std::move(res.payload));
     switch (resp.status) {
       case ReadStatus::kAbort:
         have_abort = true;
@@ -201,6 +184,7 @@ sim::Task<void> Txn::after_fetch_chk() {
   s.epoch = r.epoch_;
   s.op_cursor = r.op_seq_;
   s.objs_since_chk = 0;
+  s.dataset_len = r.dataset_cache_.size();
   s.readset = r.readset_;
   s.writeset = r.writeset_;
   r.checkpoints_.push_back(std::move(s));
@@ -223,7 +207,10 @@ sim::Task<Bytes> Txn::read(ObjectId id) {
   }
   ObjectCopy c = co_await quorum_fetch(id, /*for_write=*/false);
   Bytes data = c.data;
-  readset_[id] = OwnedCopy{std::move(c), scope_id_, depth_, root().epoch_};
+  const Version ver = c.version;
+  const ChkEpoch chk = root().epoch_;
+  readset_[id] = OwnedCopy{std::move(c), scope_id_, depth_, chk};
+  dataset_append(id, ver, chk);
   log_op(op, data, store::kNullObject);
   if (rt_.config().mode == NestingMode::kCheckpoint) {
     co_await after_fetch_chk();
@@ -253,13 +240,16 @@ sim::Task<Bytes> Txn::read_for_write(ObjectId id) {
     ++rt_.metrics().local_read_hits;
     Bytes data = mine.copy.data;
     log_op(op, data, store::kNullObject);
+    dataset_append(id, mine.copy.version, mine.owner_chk);
     writeset_[id] = std::move(mine);
     co_return data;
   }
   ObjectCopy c = co_await quorum_fetch(id, /*for_write=*/true);
   Bytes data = c.data;
-  writeset_[id] =
-      OwnedCopy{std::move(c), scope_id_, depth_, root().epoch_};
+  const Version ver = c.version;
+  const ChkEpoch chk = root().epoch_;
+  writeset_[id] = OwnedCopy{std::move(c), scope_id_, depth_, chk};
+  dataset_append(id, ver, chk);
   log_op(op, data, store::kNullObject);
   if (rt_.config().mode == NestingMode::kCheckpoint) {
     co_await after_fetch_chk();
@@ -289,6 +279,7 @@ ObjectId Txn::create(Bytes data) {
   log_op(op, Bytes{}, id);
   writeset_[id] = OwnedCopy{ObjectCopy{id, 0, std::move(data)}, scope_id_,
                             depth_, r.epoch_};
+  dataset_append(id, 0, r.epoch_);
   return id;
 }
 
@@ -321,8 +312,14 @@ sim::Task<void> Txn::nested(TxnBody body) {
         do_propagate = true;
       }
     }
-    if (do_propagate) throw propagate;
+    if (do_propagate) {
+      // The child's sets die with it; drop its materialised entries before
+      // unwinding (ancestor frames truncate their own marks in turn).
+      dataset_truncate(child.dataset_mark_);
+      throw propagate;
+    }
     if (retry) {
+      dataset_truncate(child.dataset_mark_);
       ++rt_.metrics().ct_aborts;
       const sim::Tick base = rt_.config().ct_retry_backoff;
       if (base > 0) {
@@ -375,11 +372,19 @@ void Txn::merge_into_parent() {
   }
   readset_.clear();
   writeset_.clear();
+  // Re-home this scope's materialised entries (everything appended since the
+  // scope opened, including already-merged grandchildren's).
+  auto& cache = root().dataset_cache_;
+  for (std::size_t i = dataset_mark_; i < cache.size(); ++i) {
+    cache[i].owner = parent_->scope_id_;
+    cache[i].owner_depth = parent_->depth_;
+  }
 }
 
 void Txn::reset_scope() {
   readset_.clear();
   writeset_.clear();
+  dataset_truncate(dataset_mark_);
 }
 
 void Txn::reset_full() {
@@ -388,6 +393,7 @@ void Txn::reset_full() {
                   "open-nesting state must be settled before a reset");
   readset_.clear();
   writeset_.clear();
+  dataset_cache_.clear();
   checkpoints_.clear();
   op_log_.clear();
   epoch_ = 0;
@@ -409,6 +415,7 @@ void Txn::rollback_to(ChkEpoch epoch) {
   const Snapshot& s = checkpoints_.back();
   readset_ = s.readset;
   writeset_ = s.writeset;
+  dataset_cache_.resize(s.dataset_len);
   epoch_ = s.epoch;
   objs_since_chk_ = s.objs_since_chk;
   replay_until_ = s.op_cursor;
@@ -432,6 +439,24 @@ TxnRuntime::TxnRuntime(net::RpcEndpoint& rpc, quorum::QuorumProvider& quorums,
       // Scope ids are node-prefixed so ids never collide across nodes; id 0
       // is reserved as the "current scope" sentinel in abort replies.
       next_scope_id_((static_cast<TxnId>(rpc.id()) + 1) << 40) {}
+
+const std::vector<net::NodeId>& TxnRuntime::read_quorum() {
+  const std::uint64_t g = quorums_.generation();
+  if (rq_gen_ != g) {
+    rq_cache_ = quorums_.read_quorum(node());
+    rq_gen_ = g;
+  }
+  return rq_cache_;
+}
+
+const std::vector<net::NodeId>& TxnRuntime::write_quorum() {
+  const std::uint64_t g = quorums_.generation();
+  if (wq_gen_ != g) {
+    wq_cache_ = quorums_.write_quorum(node());
+    wq_gen_ = g;
+  }
+  return wq_cache_;
+}
 
 ObjectId TxnRuntime::allocate_object_id() {
   return ((static_cast<ObjectId>(rpc_.id()) + 1) << 40) |
@@ -501,7 +526,7 @@ sim::Task<void> TxnRuntime::acquire_abstract_lock(Txn& root,
   }
   const net::NodeId home = lock_home(lock, rpc_.network().num_nodes());
   for (std::uint32_t attempt = 0;; ++attempt) {
-    Writer w;
+    Writer w(rpc_.acquire_buffer(msg::kLockAcquire));
     w.u64(lock);
     w.u64(root.scope_id_);
     ++metrics_.lock_messages;
@@ -510,7 +535,9 @@ sim::Task<void> TxnRuntime::acquire_abstract_lock(Txn& root,
     report_rpc_outcome(home, res.ok);
     if (res.ok) {
       Reader r(res.payload);
-      if (r.boolean()) {
+      const bool granted = r.boolean();
+      rpc_.release_buffer(std::move(res.payload));
+      if (granted) {
         root.held_locks_.push_back(lock);
         co_return;
       }
@@ -540,7 +567,7 @@ sim::Task<void> TxnRuntime::finish_open(Txn& root, bool committed) {
     }
   }
   for (AbstractLockId lock : root.held_locks_) {
-    Writer w;
+    Writer w(rpc_.acquire_buffer(msg::kLockRelease));
     w.u64(lock);
     w.u64(root.scope_id_);
     ++metrics_.lock_messages;
@@ -577,11 +604,18 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
     req.writeset.push_back(CommitWriteEntry{id, oc.copy.version, oc.copy.data});
   }
 
-  const auto wq = quorums_.write_quorum(node());
+  // Copy of the memoised quorum: a failure mid-commit may regenerate the
+  // cache while we await votes, and the confirm must reach the same members
+  // the request went to.
+  const std::vector<net::NodeId> wq = write_quorum();
   ++metrics_.commit_requests;
   metrics_.commit_messages += wq.size();
-  auto futures = rpc_.multicast(wq, msg::kCommitRequest, req.encode(),
-                                config_.rpc_timeout);
+  Writer reqw(rpc_.acquire_buffer(msg::kCommitRequest));
+  req.encode_into(reqw);
+  Bytes reqbytes = std::move(reqw).take();
+  auto futures =
+      rpc_.multicast(wq, msg::kCommitRequest, reqbytes, config_.rpc_timeout);
+  rpc_.release_buffer(std::move(reqbytes));
 
   bool all_commit = true;
   for (auto& f : futures) {
@@ -592,6 +626,7 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
       continue;
     }
     if (!VoteResponse::decode(res.payload).commit) all_commit = false;
+    rpc_.release_buffer(std::move(res.payload));
   }
 
   // The confirm goes out either way: voters that protected the write-set
@@ -600,11 +635,16 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
   confirm.txn = req.txn;
   confirm.commit = all_commit;
   confirm.writeset = std::move(req.writeset);
-  const Bytes encoded = confirm.encode();
+  Writer cw(rpc_.acquire_buffer(msg::kCommitConfirm));
+  confirm.encode_into(cw);
+  Bytes encoded = std::move(cw).take();
   metrics_.commit_messages += wq.size();
   for (net::NodeId n : wq) {
-    rpc_.notify(n, msg::kCommitConfirm, encoded);
+    Bytes copy = rpc_.acquire_buffer(msg::kCommitConfirm);
+    copy.assign(encoded.begin(), encoded.end());
+    rpc_.notify(n, msg::kCommitConfirm, std::move(copy));
   }
+  rpc_.release_buffer(std::move(encoded));
 
   // Charge the one-way confirm propagation (paper: commit-confirm cost is
   // the distance to the write quorum).  This also keeps the client's next

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "core/abstract_locks.h"
 #include "core/failure_detector.h"
@@ -186,6 +187,7 @@ class Txn {
     ChkEpoch epoch = 0;
     std::uint64_t op_cursor = 0;  // op_seq at creation (replay fast-forward)
     std::uint32_t objs_since_chk = 0;
+    std::size_t dataset_len = 0;  // materialised data-set length at creation
     std::unordered_map<ObjectId, OwnedCopy> readset;
     std::unordered_map<ObjectId, OwnedCopy> writeset;
   };
@@ -214,8 +216,26 @@ class Txn {
   /// absent; `from_writeset` reports which set matched.
   const OwnedCopy* find_local(ObjectId id, bool* from_writeset) const;
 
-  /// Collect the full data-set (root..self) for Rqv.
-  std::vector<DataSetEntry> collect_dataset() const;
+  /// The full data-set (root..self) for Rqv.  Maintained incrementally on
+  /// the root as objects enter the sets, so shipping it with every remote
+  /// read is O(1) instead of an O(data-set) rebuild per fetch.
+  const std::vector<DataSetEntry>& dataset() const {
+    return root().dataset_cache_;
+  }
+
+  /// Record a set insertion in the root's materialised data-set.
+  void dataset_append(ObjectId id, Version version, ChkEpoch chk) {
+    root().dataset_cache_.push_back(
+        DataSetEntry{id, version, scope_id_, depth_, chk});
+  }
+
+  /// Drop materialised entries appended at or after `len` (scope abort,
+  /// checkpoint rollback, full reset).
+  void dataset_truncate(std::size_t len) {
+    Txn& r = root();
+    QRDTM_DCHECK(len <= r.dataset_cache_.size());
+    r.dataset_cache_.resize(len);
+  }
 
   /// Fetch from the read quorum with Rqv; inserts into this scope's set.
   sim::Task<ObjectCopy> quorum_fetch(ObjectId id, bool for_write);
@@ -248,7 +268,20 @@ class Txn {
   std::unordered_map<ObjectId, OwnedCopy> readset_;
   std::unordered_map<ObjectId, OwnedCopy> writeset_;
 
+  /// Index into the root's dataset_cache_ at which this scope's entries
+  /// start; everything at or beyond it is truncated if this scope aborts.
+  std::size_t dataset_mark_ = 0;
+
   // --- root-only state ---
+  /// Materialised Rqv data-set: one entry per set insertion anywhere in the
+  /// scope tree, appended on fetch/create, owner-patched on CT merge, and
+  /// truncated on scope abort / checkpoint rollback.  Entry order differs
+  /// from a root->self set walk (it is chronological) and a CT upgrade of an
+  /// object already in an ancestor write-set leaves a duplicate identical
+  /// entry after the merge overwrites the ancestor's copy -- both are
+  /// harmless: replica validation is per-entry and order-independent
+  /// (qr_server combines via shallowest-depth / min-epoch).
+  std::vector<DataSetEntry> dataset_cache_;
   /// QR-ON: compensations for globally-committed open-nested bodies (run in
   /// reverse order if this root aborts) and the abstract locks held.
   std::vector<TxnBody> open_log_;
@@ -328,6 +361,13 @@ class TxnRuntime {
 
   sim::Task<void> backoff(std::uint32_t attempt);
 
+  /// Memoised quorums: providers derive them deterministically from the
+  /// live set, so recompute only when the provider's generation() moves
+  /// (fail-stop).  The reference stays valid until the next call; commit
+  /// paths that span suspension points take a copy.
+  const std::vector<net::NodeId>& read_quorum();
+  const std::vector<net::NodeId>& write_quorum();
+
   net::RpcEndpoint& rpc_;
   quorum::QuorumProvider& quorums_;
   Metrics& metrics_;
@@ -336,6 +376,9 @@ class TxnRuntime {
   Rng rng_;
   TxnId next_scope_id_;
   std::uint64_t next_object_seq_ = 1;
+
+  std::vector<net::NodeId> rq_cache_, wq_cache_;
+  std::uint64_t rq_gen_ = ~0ULL, wq_gen_ = ~0ULL;
 };
 
 }  // namespace qrdtm::core

@@ -4,6 +4,20 @@ namespace qrdtm::core {
 
 namespace {
 
+// Exact encoded sizes, used to reserve() writers before encoding so even a
+// cold (unpooled) buffer allocates at most once.
+constexpr std::size_t kEntryBytes = 8 + 8 + 8 + 4 + 8;      // DataSetEntry
+constexpr std::size_t kReadReqHeader = 8 + 1 + 8 + 1 + 4;   // + entries
+constexpr std::size_t kReadRespHeader = 1 + 8 + 4 + 8 + 4 + 8;  // + data
+constexpr std::size_t kReadEntryBytes = 8 + 8;              // CommitReadEntry
+constexpr std::size_t kWriteEntryHeader = 8 + 8 + 4;        // + data
+
+std::size_t writeset_bytes(const std::vector<CommitWriteEntry>& ws) {
+  std::size_t n = 4;
+  for (const CommitWriteEntry& e : ws) n += kWriteEntryHeader + e.data.size();
+  return n;
+}
+
 void encode_entry(Writer& w, const DataSetEntry& e) {
   w.u64(e.id);
   w.u64(e.version);
@@ -24,13 +38,24 @@ DataSetEntry decode_entry(Reader& r) {
 
 }  // namespace
 
-Bytes ReadRequest::encode() const {
-  Writer w;
+void encode_read_request(Writer& w, TxnId root, NestingMode mode,
+                         ObjectId object, bool for_write,
+                         const std::vector<DataSetEntry>& dataset) {
+  w.reserve(w.size() + kReadReqHeader + dataset.size() * kEntryBytes);
   w.u64(root);
   w.u8(static_cast<std::uint8_t>(mode));
   w.u64(object);
   w.boolean(for_write);
   encode_vec(w, dataset, encode_entry);
+}
+
+void ReadRequest::encode_into(Writer& w) const {
+  encode_read_request(w, root, mode, object, for_write, dataset);
+}
+
+Bytes ReadRequest::encode() const {
+  Writer w;
+  encode_into(w);
   return std::move(w).take();
 }
 
@@ -46,14 +71,19 @@ ReadRequest ReadRequest::decode(const Bytes& b) {
   return req;
 }
 
-Bytes ReadResponse::encode() const {
-  Writer w;
+void ReadResponse::encode_into(Writer& w) const {
+  w.reserve(w.size() + kReadRespHeader + data.size());
   w.u8(static_cast<std::uint8_t>(status));
   w.u64(version);
   w.blob(data);
   w.u64(abort_scope);
   w.u32(abort_depth);
   w.u64(abort_chk);
+}
+
+Bytes ReadResponse::encode() const {
+  Writer w;
+  encode_into(w);
   return std::move(w).take();
 }
 
@@ -70,8 +100,9 @@ ReadResponse ReadResponse::decode(const Bytes& b) {
   return resp;
 }
 
-Bytes CommitRequest::encode() const {
-  Writer w;
+void CommitRequest::encode_into(Writer& w) const {
+  w.reserve(w.size() + 8 + 4 + readset.size() * kReadEntryBytes +
+            writeset_bytes(writeset));
   w.u64(txn);
   encode_vec(w, readset, [](Writer& w2, const CommitReadEntry& e) {
     w2.u64(e.id);
@@ -82,6 +113,11 @@ Bytes CommitRequest::encode() const {
     w2.u64(e.base);
     w2.blob(e.data);
   });
+}
+
+Bytes CommitRequest::encode() const {
+  Writer w;
+  encode_into(w);
   return std::move(w).take();
 }
 
@@ -106,9 +142,11 @@ CommitRequest CommitRequest::decode(const Bytes& b) {
   return req;
 }
 
+void VoteResponse::encode_into(Writer& w) const { w.boolean(commit); }
+
 Bytes VoteResponse::encode() const {
   Writer w;
-  w.boolean(commit);
+  encode_into(w);
   return std::move(w).take();
 }
 
@@ -120,8 +158,8 @@ VoteResponse VoteResponse::decode(const Bytes& b) {
   return v;
 }
 
-Bytes CommitConfirm::encode() const {
-  Writer w;
+void CommitConfirm::encode_into(Writer& w) const {
+  w.reserve(w.size() + 8 + 1 + writeset_bytes(writeset));
   w.u64(txn);
   w.boolean(commit);
   encode_vec(w, writeset, [](Writer& w2, const CommitWriteEntry& e) {
@@ -129,6 +167,11 @@ Bytes CommitConfirm::encode() const {
     w2.u64(e.base);
     w2.blob(e.data);
   });
+}
+
+Bytes CommitConfirm::encode() const {
+  Writer w;
+  encode_into(w);
   return std::move(w).take();
 }
 

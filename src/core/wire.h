@@ -46,8 +46,17 @@ struct ReadRequest {
   std::vector<DataSetEntry> dataset;  // empty under flat QR
 
   Bytes encode() const;
+  void encode_into(Writer& w) const;
   static ReadRequest decode(const Bytes& b);
 };
+
+/// Encode a ReadRequest straight from its fields, with the data-set borrowed
+/// rather than copied into a ReadRequest struct first.  This is the hot read
+/// path: under QR-CN / QR-CHK every remote read ships the root's full
+/// data-set (Rqv), so avoiding the intermediate vector copy matters.
+void encode_read_request(Writer& w, TxnId root, NestingMode mode,
+                         ObjectId object, bool for_write,
+                         const std::vector<DataSetEntry>& dataset);
 
 enum class ReadStatus : std::uint8_t {
   kOk = 0,       // copy attached (version may be 0 if replica never saw it)
@@ -65,6 +74,7 @@ struct ReadResponse {
   ChkEpoch abort_chk = 0;
 
   Bytes encode() const;
+  void encode_into(Writer& w) const;
   static ReadResponse decode(const Bytes& b);
 };
 
@@ -88,6 +98,7 @@ struct CommitRequest {
   std::vector<CommitWriteEntry> writeset;
 
   Bytes encode() const;
+  void encode_into(Writer& w) const;
   static CommitRequest decode(const Bytes& b);
 };
 
@@ -95,6 +106,7 @@ struct VoteResponse {
   bool commit = false;
 
   Bytes encode() const;
+  void encode_into(Writer& w) const;
   static VoteResponse decode(const Bytes& b);
 };
 
@@ -105,6 +117,7 @@ struct CommitConfirm {
   std::vector<CommitWriteEntry> writeset;  // applied as version base+1
 
   Bytes encode() const;
+  void encode_into(Writer& w) const;
   static CommitConfirm decode(const Bytes& b);
 };
 

@@ -1,19 +1,25 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace qrdtm::net {
 
-void Network::send(Message m) {
+void Network::send(Message&& m) {
   QRDTM_CHECK_MSG(m.dst < nodes_.size(), "send to unknown node");
   QRDTM_CHECK_MSG(m.src < nodes_.size(), "send from unknown node");
+  QRDTM_CHECK_MSG(m.kind < kMsgKindSpace, "message kind out of range");
 
   ++stats_.sent_total;
-  ++stats_.sent_by_kind[m.kind];
+  ++stats_.sent_by_kind_[m.kind];
+  if (m.payload.size() > payload_hint_[m.kind]) {
+    payload_hint_[m.kind] = static_cast<std::uint32_t>(m.payload.size());
+  }
 
   // A dead *sender* cannot emit messages.
   if (!nodes_[m.src].alive) {
     ++stats_.dropped_dead;
+    pool_.release(std::move(m.payload));
     return;
   }
 
@@ -21,24 +27,27 @@ void Network::send(Message m) {
 
   // Reserve the destination's service slot now so FIFO order is decided at
   // send time per arrival; the slot start accounts for queueing behind
-  // earlier arrivals.
+  // earlier arrivals.  The message moves through both events; its payload is
+  // never copied between send() and the handler.
   sim_.schedule_at(arrival, [this, m = std::move(m)]() mutable {
     NodeState& dst = nodes_[m.dst];
     if (!dst.alive) {
       ++stats_.dropped_dead;
+      pool_.release(std::move(m.payload));
       return;
     }
     const sim::Tick start = std::max(sim_.now(), dst.busy_until);
     const sim::Tick done = start + service_time_;
     dst.busy_until = done;
-    sim_.schedule_at(done, [this, m = std::move(m)]() {
+    sim_.schedule_at(done, [this, m = std::move(m)]() mutable {
       NodeState& d = nodes_[m.dst];
       if (!d.alive) {
         ++stats_.dropped_dead;
+        pool_.release(std::move(m.payload));
         return;
       }
       ++stats_.delivered_total;
-      d.handler(m);
+      d.handler(std::move(m));
     });
   });
 }

@@ -13,15 +13,21 @@
 // from the kill instant onward (fail-stop).  Messages already handed to a
 // dead node are lost; callers recover via RPC timeouts or by reconfiguring
 // quorums around known-dead nodes (paper §VI-D).
+//
+// Hot-path notes: messages move (never copy) from send() through the two
+// delivery events into the handler, dropped payloads are recycled through
+// the network's BufferPool, and per-kind counters/size-hints are flat arrays
+// indexed by MsgKind (kind space is bounded, see kMsgKindSpace).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/check.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "net/latency.h"
 #include "net/message.h"
@@ -29,18 +35,26 @@
 
 namespace qrdtm::net {
 
+/// Upper bound (exclusive) on MsgKind values, sized to cover every protocol
+/// range (0x01xx QR family, 0x02xx TFA, 0x03xx DecentSTM) with headroom.
+/// Keeping the kind space dense lets per-kind state be flat arrays.
+constexpr std::size_t kMsgKindSpace = 0x0400;
+
 /// Per-kind and aggregate message counters (paper Fig. 8 reports message
 /// deltas; the core metrics map kinds onto read/commit categories).
 struct NetStats {
   std::uint64_t sent_total = 0;
   std::uint64_t delivered_total = 0;
   std::uint64_t dropped_dead = 0;
-  std::map<MsgKind, std::uint64_t> sent_by_kind;
+
+  std::uint64_t sent_by_kind(MsgKind k) const { return sent_by_kind_[k]; }
+
+  std::array<std::uint64_t, kMsgKindSpace> sent_by_kind_{};
 };
 
 class Network {
  public:
-  using Handler = std::function<void(const Message&)>;
+  using Handler = std::function<void(Message&&)>;
 
   Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
           std::uint64_t seed, sim::Tick service_time = sim::usec(50))
@@ -53,6 +67,7 @@ class Network {
   NodeId add_node(Handler h) {
     nodes_.push_back(NodeState{std::move(h), /*alive=*/true,
                                /*busy_until=*/0});
+    alive_dirty_ = true;
     return static_cast<NodeId>(nodes_.size() - 1);
   }
 
@@ -69,29 +84,46 @@ class Network {
   void kill(NodeId n) {
     QRDTM_CHECK(n < nodes_.size());
     nodes_[n].alive = false;
+    alive_dirty_ = true;
   }
 
   void revive(NodeId n) {
     QRDTM_CHECK(n < nodes_.size());
     nodes_[n].alive = true;
+    alive_dirty_ = true;
   }
 
-  std::vector<NodeId> alive_nodes() const {
-    std::vector<NodeId> out;
-    for (NodeId n = 0; n < nodes_.size(); ++n) {
-      if (nodes_[n].alive) out.push_back(n);
+  /// Live node ids, cached between membership changes.  The reference is
+  /// invalidated by the next kill/revive/add_node.
+  const std::vector<NodeId>& alive_nodes() const {
+    if (alive_dirty_) {
+      alive_cache_.clear();
+      for (NodeId n = 0; n < nodes_.size(); ++n) {
+        if (nodes_[n].alive) alive_cache_.push_back(n);
+      }
+      alive_dirty_ = false;
     }
-    return out;
+    return alive_cache_;
   }
 
   /// Enqueue a message for delivery.  Never blocks the sender (the paper's
   /// JGroups sends are asynchronous; senders wait on replies, not sends).
-  void send(Message m);
+  void send(Message&& m);
 
   const NetStats& stats() const { return stats_; }
 
   /// Service time charged per handled message at the destination replica.
   sim::Tick service_time() const { return service_time_; }
+
+  /// Shared payload-buffer pool.  Encoders acquire here; consumed payloads
+  /// are released back so steady-state traffic does not allocate.
+  BufferPool& pool() { return pool_; }
+
+  /// Running high-watermark of payload sizes seen per kind -- used as the
+  /// reserve() hint when encoding the next message of that kind.
+  std::size_t payload_size_hint(MsgKind k) const {
+    return payload_hint_[k];
+  }
 
  private:
   struct NodeState {
@@ -106,6 +138,10 @@ class Network {
   sim::Tick service_time_;
   std::vector<NodeState> nodes_;
   NetStats stats_;
+  BufferPool pool_;
+  std::array<std::uint32_t, kMsgKindSpace> payload_hint_{};
+  mutable std::vector<NodeId> alive_cache_;
+  mutable bool alive_dirty_ = true;
 };
 
 }  // namespace qrdtm::net

@@ -8,11 +8,12 @@ namespace qrdtm::net {
 
 RpcEndpoint::RpcEndpoint(sim::Simulator& sim, Network& net)
     : sim_(sim), net_(net) {
-  id_ = net_.add_node([this](const Message& m) { handle(m); });
+  id_ = net_.add_node([this](Message&& m) { handle(std::move(m)); });
 }
 
 void RpcEndpoint::register_service(MsgKind kind, Service service) {
-  QRDTM_CHECK_MSG(!services_.contains(kind), "duplicate service registration");
+  QRDTM_CHECK_MSG(kind < kMsgKindSpace, "message kind out of range");
+  QRDTM_CHECK_MSG(!services_[kind], "duplicate service registration");
   services_[kind] = std::move(service);
 }
 
@@ -21,7 +22,7 @@ sim::Future<RpcResult> RpcEndpoint::call(NodeId dst, MsgKind kind, Bytes req,
   const std::uint64_t rpc_id = next_rpc_id_++;
   sim::Promise<RpcResult> promise(sim_);
   auto future = promise.future();
-  pending_.emplace(rpc_id, promise);
+  pending_.push_back(Pending{rpc_id, promise});
 
   net_.send(Message{.src = id_,
                     .dst = dst,
@@ -31,10 +32,15 @@ sim::Future<RpcResult> RpcEndpoint::call(NodeId dst, MsgKind kind, Bytes req,
                     .payload = std::move(req)});
 
   sim_.schedule_after(timeout, [this, rpc_id, dst]() {
-    auto it = pending_.find(rpc_id);
-    if (it == pending_.end()) return;  // already resolved
-    it->second.try_set(RpcResult{.ok = false, .from = dst, .payload = {}});
-    pending_.erase(it);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].rpc_id != rpc_id) continue;
+      pending_[i].promise.try_set(
+          RpcResult{.ok = false, .from = dst, .payload = {}});
+      pending_[i] = std::move(pending_.back());
+      pending_.pop_back();
+      return;
+    }
+    // Not found: already resolved by a response.
   });
   return future;
 }
@@ -54,24 +60,33 @@ std::vector<sim::Future<RpcResult>> RpcEndpoint::multicast(
   std::vector<sim::Future<RpcResult>> futures;
   futures.reserve(members.size());
   for (NodeId m : members) {
-    futures.push_back(call(m, kind, req, timeout));
+    // Per-member copy lands in a pooled buffer, not a fresh allocation.
+    Bytes copy = net_.pool().acquire(req.size());
+    copy.assign(req.begin(), req.end());
+    futures.push_back(call(m, kind, std::move(copy), timeout));
   }
   return futures;
 }
 
-void RpcEndpoint::handle(const Message& m) {
+void RpcEndpoint::handle(Message&& m) {
   if (m.response) {
-    auto it = pending_.find(m.rpc_id);
-    if (it == pending_.end()) return;  // response raced with timeout
-    it->second.try_set(RpcResult{.ok = true, .from = m.src,
-                                 .payload = m.payload});
-    pending_.erase(it);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].rpc_id != m.rpc_id) continue;
+      pending_[i].promise.try_set(RpcResult{
+          .ok = true, .from = m.src, .payload = std::move(m.payload)});
+      pending_[i] = std::move(pending_.back());
+      pending_.pop_back();
+      return;
+    }
+    // Response raced with (and lost to) its timeout.
+    net_.pool().release(std::move(m.payload));
     return;
   }
 
-  auto svc = services_.find(m.kind);
-  QRDTM_CHECK_MSG(svc != services_.end(), "no service for message kind");
-  std::optional<Bytes> reply = svc->second(m.src, m.payload);
+  QRDTM_CHECK_MSG(m.kind < kMsgKindSpace && services_[m.kind],
+                  "no service for message kind");
+  std::optional<Bytes> reply = services_[m.kind](m.src, m.payload);
+  net_.pool().release(std::move(m.payload));
   if (reply.has_value() && m.rpc_id != 0) {
     net_.send(Message{.src = id_,
                       .dst = m.src,

@@ -9,12 +9,18 @@
 //
 // A call either completes with the response payload or, after `timeout`,
 // with ok=false (destination dead or response lost).
+//
+// Hot-path notes: the in-flight call table is a small flat vector (a client
+// has a handful of outstanding RPCs; linear scan + swap-remove beats a hash
+// map), services are a flat array indexed by kind, and payload buffers are
+// recycled through the network's BufferPool (request payloads after the
+// service consumed them, response payloads after the caller decoded them).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
@@ -59,15 +65,29 @@ class RpcEndpoint {
       const std::vector<NodeId>& members, MsgKind kind, const Bytes& req,
       sim::Tick timeout);
 
+  /// Acquire a pooled payload buffer pre-reserved from the running size
+  /// high-watermark for `kind`.
+  Bytes acquire_buffer(MsgKind kind) {
+    return net_.pool().acquire(net_.payload_size_hint(kind));
+  }
+
+  /// Return a consumed payload (e.g. a decoded RpcResult's) to the pool.
+  void release_buffer(Bytes&& b) { net_.pool().release(std::move(b)); }
+
  private:
-  void handle(const Message& m);
+  void handle(Message&& m);
+
+  struct Pending {
+    std::uint64_t rpc_id;
+    sim::Promise<RpcResult> promise;
+  };
 
   sim::Simulator& sim_;
   Network& net_;
   NodeId id_;
   std::uint64_t next_rpc_id_ = 1;
-  std::unordered_map<MsgKind, Service> services_;
-  std::unordered_map<std::uint64_t, sim::Promise<RpcResult>> pending_;
+  std::array<Service, kMsgKindSpace> services_;
+  std::vector<Pending> pending_;
 };
 
 }  // namespace qrdtm::net

@@ -34,6 +34,7 @@ TreeQuorumProvider::TreeQuorumProvider(Config cfg) : cfg_(cfg) {
 
 std::vector<NodeId> TreeQuorumProvider::children(NodeId v) const {
   std::vector<NodeId> out;
+  out.reserve(cfg_.degree);
   for (std::uint32_t i = 1; i <= cfg_.degree; ++i) {
     std::uint64_t c = static_cast<std::uint64_t>(v) * cfg_.degree + i;
     if (c < cfg_.num_nodes) out.push_back(static_cast<NodeId>(c));
@@ -135,6 +136,7 @@ std::vector<NodeId> TreeQuorumProvider::write_quorum(NodeId node) const {
 void TreeQuorumProvider::on_failure(NodeId dead) {
   QRDTM_CHECK(dead < dead_.size());
   dead_[dead] = true;
+  bump_generation();
 }
 
 // ---------------------------------------------------------------- majority
@@ -149,6 +151,7 @@ MajorityQuorumProvider::MajorityQuorumProvider(std::uint32_t num_nodes,
 std::vector<NodeId> MajorityQuorumProvider::pick(NodeId node,
                                                  std::size_t count) const {
   std::vector<NodeId> live;
+  live.reserve(n_);
   for (NodeId i = 0; i < n_; ++i) {
     if (!dead_[i]) live.push_back(i);
   }
@@ -176,6 +179,7 @@ std::vector<NodeId> MajorityQuorumProvider::write_quorum(NodeId node) const {
 void MajorityQuorumProvider::on_failure(NodeId dead) {
   QRDTM_CHECK(dead < dead_.size());
   dead_[dead] = true;
+  bump_generation();
 }
 
 // ---------------------------------------------------------------- flat/fig10
@@ -188,6 +192,7 @@ FlatFailureAwareProvider::FlatFailureAwareProvider(std::uint32_t num_nodes)
 
 std::vector<NodeId> FlatFailureAwareProvider::read_quorum(NodeId node) const {
   std::vector<NodeId> live;
+  live.reserve(n_);
   for (NodeId i = 0; i < n_; ++i) {
     if (!dead_[i]) live.push_back(i);
   }
@@ -211,6 +216,7 @@ std::vector<NodeId> FlatFailureAwareProvider::read_quorum(NodeId node) const {
 
 std::vector<NodeId> FlatFailureAwareProvider::write_quorum(NodeId) const {
   std::vector<NodeId> live;
+  live.reserve(n_);
   for (NodeId i = 0; i < n_; ++i) {
     if (!dead_[i]) live.push_back(i);
   }
@@ -223,6 +229,7 @@ void FlatFailureAwareProvider::on_failure(NodeId dead) {
   if (!dead_[dead]) {
     dead_[dead] = true;
     ++failures_;
+    bump_generation();
   }
 }
 

@@ -48,6 +48,17 @@ class QuorumProvider {
 
   /// Inform the provider of a fail-stop so later quorums avoid the node.
   virtual void on_failure(NodeId dead) = 0;
+
+  /// Monotone counter advanced on every membership change.  Quorums are a
+  /// pure function of the live set, so clients may cache a computed quorum
+  /// for as long as generation() holds still (TxnRuntime does).
+  std::uint64_t generation() const { return generation_; }
+
+ protected:
+  void bump_generation() { ++generation_; }
+
+ private:
+  std::uint64_t generation_ = 0;
 };
 
 /// Logical complete d-ary tree over nodes 0..n-1 (node 0 = root, children of

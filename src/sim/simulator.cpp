@@ -33,9 +33,48 @@ struct SpawnDriver {
   }
 };
 
-void Simulator::schedule_at(Tick at, std::function<void()> fn) {
-  QRDTM_CHECK_MSG(at >= now_, "cannot schedule into the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+Simulator::~Simulator() {
+  // Destroy callables of events still pending (processes parked past the
+  // deadline when the experiment ended).
+  for (const HeapEntry& he : heap_) {
+    Event& e = event(he.idx());
+    e.discard(e);
+  }
+}
+
+void Simulator::grow_pool() {
+  QRDTM_CHECK_MSG(chunks_.size() * kChunkSize < (std::size_t{1} << kIdxBits),
+                  "event pool exhausted (16.7M in-flight events)");
+  const auto base = static_cast<std::uint32_t>(chunks_.size() * kChunkSize);
+  chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+  free_.reserve(free_.capacity() + kChunkSize);
+  // Hand out low indices first (cosmetic; any order is correct).
+  for (std::uint32_t i = kChunkSize; i-- > 0;) free_.push_back(base + i);
+}
+
+Simulator::HeapEntry Simulator::heap_pop_min() {
+  const HeapEntry min = heap_[0];
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = i * kHeapArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end =
+          first_child + kHeapArity < n ? first_child + kHeapArity : n;
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (heap_[c].before(heap_[best])) best = c;
+      }
+      if (!heap_[best].before(last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return min;
 }
 
 void Simulator::spawn(Task<void> task) {
@@ -59,22 +98,22 @@ Tick Simulator::advance_to(Tick deadline) {
 }
 
 void Simulator::drain(Tick deadline) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     if (failure_) {
       auto f = failure_;
       failure_ = nullptr;
       std::rethrow_exception(f);
     }
-    const Event& top = queue_.top();
-    if (top.at > deadline) break;
-    // Move the callback out before popping: running it may push new events
-    // and invalidate the reference.
-    Tick at = top.at;
-    auto fn = std::move(const_cast<Event&>(top).fn);
-    queue_.pop();
-    now_ = at;
+    if (heap_[0].at > deadline) break;
+    const HeapEntry he = heap_pop_min();
+    Event& e = event(he.idx());
+    now_ = he.at;
     ++events_executed_;
-    fn();
+    // Free the slot before running: run() first moves the callable out of
+    // the slot buffer, so the slot may be re-used by events the callable
+    // itself schedules (single-threaded, no race).
+    free_.push_back(he.idx());
+    e.run(e);
   }
   if (failure_) {
     auto f = failure_;

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/pool.h"
 #include "sim/simulator.h"
 
 namespace qrdtm::sim {
@@ -50,8 +51,12 @@ struct SharedState {
 template <class T>
 class Promise {
  public:
+  // allocate_shared with a PoolAllocator: the control block + state (one
+  // per RPC on the hot path) is recycled through a free list instead of
+  // hitting the heap per call.
   explicit Promise(Simulator& sim)
-      : state_(std::make_shared<detail::SharedState<T>>()) {
+      : state_(std::allocate_shared<detail::SharedState<T>>(
+            PoolAllocator<detail::SharedState<T>>{})) {
     state_->sim = &sim;
   }
 

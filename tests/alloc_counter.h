@@ -1,0 +1,66 @@
+// Global allocation counter for zero-allocation regression tests.
+//
+// Including this header replaces the program-wide (unaligned) operator
+// new/delete with counting versions, so a test can assert that a hot path
+// performs no heap allocations in steady state.  Include it in exactly ONE
+// translation unit per test binary (the replacements have external linkage).
+//
+// Over-aligned allocations (alignas > __STDCPP_DEFAULT_NEW_ALIGNMENT__) go
+// through the aligned overloads, which are deliberately not replaced; none
+// of the hot paths under test use them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace qrdtm::testing {
+namespace detail {
+inline std::uint64_t g_allocs = 0;
+inline void* volatile g_sink = nullptr;  // defeats new/delete pair elision
+}  // namespace detail
+
+/// Number of operator-new calls since program start.
+inline std::uint64_t alloc_count() { return detail::g_allocs; }
+
+/// True when the replacement operator new is actually linked in (tests skip
+/// rather than fail on toolchains where the replacement is not effective).
+inline bool alloc_hook_active() {
+  const std::uint64_t before = detail::g_allocs;
+  int* p = new int(42);
+  detail::g_sink = p;
+  delete p;
+  return detail::g_allocs != before;
+}
+
+}  // namespace qrdtm::testing
+
+// GCC flags free() inside replacement deletes as a new/free mismatch when it
+// inlines them next to a visible operator new; the pairing is fine (all the
+// replacements below allocate with malloc).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  ++qrdtm::testing::detail::g_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  ++qrdtm::testing::detail::g_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

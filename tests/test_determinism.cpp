@@ -1,0 +1,107 @@
+// Determinism golden test: a fixed seed must produce byte-identical
+// commit/abort/message counts on every run and across kernel refactors.
+//
+// The golden values below were recorded from the pre-optimization kernel
+// (std::priority_queue of std::function events, per-read data-set rebuild).
+// Any hot-path change (event pool, buffer pool, incremental Rqv data-set
+// cache) must leave every number untouched: the optimizations may not
+// perturb event ordering, validation outcomes, or message counts.
+//
+// If a test here fails after an intentional *semantic* change (new protocol
+// behaviour, different RNG draws), re-record the goldens and explain the
+// delta in the PR; if it fails after a perf refactor, the refactor is wrong.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace qrdtm::bench {
+namespace {
+
+struct Golden {
+  const char* app;
+  core::NestingMode mode;
+  std::uint64_t commits;
+  std::uint64_t root_aborts;
+  std::uint64_t ct_aborts;
+  std::uint64_t partial_rollbacks;
+  std::uint64_t read_messages;
+  std::uint64_t commit_messages;
+};
+
+ExperimentConfig config_for(const char* app, core::NestingMode mode) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.mode = mode;
+  cfg.params.read_ratio = 0.2;
+  cfg.params.nested_calls = 3;
+  cfg.params.num_objects = default_objects(app);
+  cfg.num_nodes = 13;
+  cfg.clients = 8;
+  cfg.seed = 42;
+  cfg.duration = sim::sec(5);
+  return cfg;
+}
+
+// Recorded from the seed kernel (commit 4af34f7) at the configs above.
+constexpr Golden kGolden[] = {
+    {"bank", core::NestingMode::kFlat, 56, 112, 0, 0, 2030, 2352},
+    {"bank", core::NestingMode::kClosed, 70, 115, 59, 0, 2188, 1603},
+    {"bank", core::NestingMode::kCheckpoint, 63, 55, 0, 55, 1542, 1288},
+    {"slist", core::NestingMode::kFlat, 23, 33, 0, 0, 2484, 784},
+    {"slist", core::NestingMode::kClosed, 26, 28, 26, 0, 2558, 336},
+    {"slist", core::NestingMode::kCheckpoint, 18, 1, 0, 43, 1774, 266},
+};
+
+class DeterminismGolden : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(DeterminismGolden, MatchesGoldenAndRepeats) {
+  const Golden& g = GetParam();
+  ExperimentConfig cfg = config_for(g.app, g.mode);
+  ExperimentResult a = run_experiment(cfg);
+  ExperimentResult b = run_experiment(cfg);
+
+  // Print in golden-row form so re-recording is copy-paste.
+  std::printf("GOLDEN {\"%s\", core::NestingMode::%s, %llu, %llu, %llu, "
+              "%llu, %llu, %llu},\n",
+              g.app,
+              g.mode == core::NestingMode::kFlat       ? "kFlat"
+              : g.mode == core::NestingMode::kClosed   ? "kClosed"
+                                                       : "kCheckpoint",
+              static_cast<unsigned long long>(a.commits),
+              static_cast<unsigned long long>(a.root_aborts),
+              static_cast<unsigned long long>(a.ct_aborts),
+              static_cast<unsigned long long>(a.partial_rollbacks),
+              static_cast<unsigned long long>(a.read_messages),
+              static_cast<unsigned long long>(a.commit_messages));
+
+  // Same seed => identical counts across two runs in this build.
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.root_aborts, b.root_aborts);
+  EXPECT_EQ(a.ct_aborts, b.ct_aborts);
+  EXPECT_EQ(a.partial_rollbacks, b.partial_rollbacks);
+  EXPECT_EQ(a.read_messages, b.read_messages);
+  EXPECT_EQ(a.commit_messages, b.commit_messages);
+  EXPECT_TRUE(a.invariants_ok);
+
+  // ... and identical to the checked-in pre-refactor kernel.
+  EXPECT_EQ(a.commits, g.commits);
+  EXPECT_EQ(a.root_aborts, g.root_aborts);
+  EXPECT_EQ(a.ct_aborts, g.ct_aborts);
+  EXPECT_EQ(a.partial_rollbacks, g.partial_rollbacks);
+  EXPECT_EQ(a.read_messages, g.read_messages);
+  EXPECT_EQ(a.commit_messages, g.commit_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DeterminismGolden,
+                         ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           std::string name = info.param.app;
+                           name += "_";
+                           name += core::to_string(info.param.mode);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace qrdtm::bench

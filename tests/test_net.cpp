@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
+#include "alloc_counter.h"
 #include "net/latency.h"
 #include "net/rpc.h"
 #include "sim/task.h"
@@ -100,8 +102,8 @@ TEST(Network, StatsCountByKind) {
   net->send(Message{.src = a, .dst = b, .kind = 9});
   s.run();
   EXPECT_EQ(net->stats().sent_total, 3u);
-  EXPECT_EQ(net->stats().sent_by_kind.at(5), 2u);
-  EXPECT_EQ(net->stats().sent_by_kind.at(9), 1u);
+  EXPECT_EQ(net->stats().sent_by_kind(5), 2u);
+  EXPECT_EQ(net->stats().sent_by_kind(9), 1u);
   EXPECT_EQ(net->stats().delivered_total, 3u);
 }
 
@@ -233,6 +235,47 @@ TEST(Rpc, LateResponseAfterTimeoutIsIgnored) {
   }(&client, server.id(), &got));
   s.run();  // the response arrives ~10 ms, after the timeout resolved
   EXPECT_FALSE(got.ok);
+}
+
+// --- allocation regression -------------------------------------------------
+// With pooled payload buffers and the pooled event kernel, a full RPC round
+// trip (request out, service, response back, decode, release) must not
+// allocate in steady state.  The warm-up must outlast the RPC timeout:
+// timeout events occupy event-pool slots until they expire, so the pool only
+// reaches its steady-state size after the first timeouts start firing.
+
+TEST(AllocRegression, SteadyStateRpcRoundTripIsAllocationFree) {
+  if (!qrdtm::testing::alloc_hook_active()) {
+    GTEST_SKIP() << "operator new replacement not linked in";
+  }
+  Simulator s;
+  auto net = make_net(s, sim::usec(100), sim::usec(10));
+  RpcEndpoint client(s, *net);
+  RpcEndpoint server(s, *net);
+  server.register_service(
+      42, [&server](NodeId, const Bytes& req) -> std::optional<Bytes> {
+        Bytes out = server.acquire_buffer(42);
+        out.assign(req.begin(), req.end());
+        return out;
+      });
+  std::uint64_t after_warm = 0;
+  std::uint64_t after_measure = 0;
+  s.spawn([](RpcEndpoint* cl, NodeId dst, std::uint64_t* warm,
+             std::uint64_t* measure) -> Task<void> {
+    // ~220 us per round trip vs a 5 ms timeout: ~23 timeouts outstanding in
+    // steady state, reached well within the first 2000 rounds.
+    for (int i = 0; i <= 3000; ++i) {
+      if (i == 2000) *warm = qrdtm::testing::alloc_count();
+      Bytes req = cl->acquire_buffer(42);
+      req.assign({1, 2, 3, 4});
+      RpcResult res = co_await cl->call(dst, 42, std::move(req), sim::msec(5));
+      if (res.ok) cl->release_buffer(std::move(res.payload));
+    }
+    *measure = qrdtm::testing::alloc_count();
+  }(&client, server.id(), &after_warm, &after_measure));
+  s.run();
+  ASSERT_NE(after_measure, 0u);
+  EXPECT_EQ(after_measure, after_warm);
 }
 
 }  // namespace

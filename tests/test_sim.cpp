@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "alloc_counter.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
@@ -258,6 +260,58 @@ TEST(SimProperty, DeterministicInterleaving) {
   auto a = trace();
   auto b = trace();
   EXPECT_EQ(a, b);
+}
+
+// --- allocation regression -------------------------------------------------
+// The event kernel recycles event slots and heap storage; once warmed up, a
+// schedule/fire cycle and a coroutine delay/resume cycle must not touch the
+// allocator at all.
+
+TEST(AllocRegression, SteadyStateScheduleCycleIsAllocationFree) {
+  if (!qrdtm::testing::alloc_hook_active()) {
+    GTEST_SKIP() << "operator new replacement not linked in";
+  }
+  Simulator s;
+  std::uint64_t after_warm = 0;
+  std::uint64_t after_measure = 0;
+  struct Chain {
+    Simulator* s;
+    int left;
+    std::uint64_t* warm;
+    std::uint64_t* measure;
+    void operator()() {
+      if (left == 4096) *warm = qrdtm::testing::alloc_count();
+      if (left == 0) {
+        *measure = qrdtm::testing::alloc_count();
+        return;
+      }
+      --left;
+      s->schedule_after(1, *this);
+    }
+  };
+  s.schedule_after(1, Chain{&s, 8192, &after_warm, &after_measure});
+  s.run();
+  ASSERT_NE(after_measure, 0u);
+  EXPECT_EQ(after_measure, after_warm);
+}
+
+TEST(AllocRegression, SteadyStateDelayResumeIsAllocationFree) {
+  if (!qrdtm::testing::alloc_hook_active()) {
+    GTEST_SKIP() << "operator new replacement not linked in";
+  }
+  Simulator s;
+  std::uint64_t after_warm = 0;
+  std::uint64_t after_measure = 0;
+  s.spawn([](Simulator* sim, std::uint64_t* warm,
+             std::uint64_t* measure) -> Task<void> {
+    for (int i = 0; i < 4096; ++i) co_await sim->delay(1);
+    *warm = qrdtm::testing::alloc_count();
+    for (int i = 0; i < 4096; ++i) co_await sim->delay(1);
+    *measure = qrdtm::testing::alloc_count();
+  }(&s, &after_warm, &after_measure));
+  s.run();
+  ASSERT_NE(after_measure, 0u);
+  EXPECT_EQ(after_measure, after_warm);
 }
 
 }  // namespace

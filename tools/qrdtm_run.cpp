@@ -34,10 +34,12 @@ void usage() {
       "  --quorum KIND     tree|majority|flat-failure (default tree)\n"
       "  --read-level N    tree read level (default 1)\n"
       "  --failures N      fail-stops before the run (default 0)\n"
-      "  --chk-threshold N objects per checkpoint (default 1)\n");
+      "  --chk-threshold N objects per checkpoint (default 1)\n"
+      "  --bench-json PATH write machine-readable perf results (JSON)\n");
 }
 
-bool parse(int argc, char** argv, ExperimentConfig& cfg) {
+bool parse(int argc, char** argv, ExperimentConfig& cfg,
+           std::string& bench_json) {
   cfg.params.num_objects = 0;  // sentinel: fill from default_objects
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -94,6 +96,8 @@ bool parse(int argc, char** argv, ExperimentConfig& cfg) {
       cfg.failures = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--chk-threshold") {
       cfg.chk_threshold = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--bench-json") {
+      bench_json = val;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -107,10 +111,48 @@ bool parse(int argc, char** argv, ExperimentConfig& cfg) {
 
 }  // namespace
 
+// Emit the point's perf numbers as JSON for CI artifacts / regression
+// tracking (tools-free to parse, schema kept flat on purpose).
+bool write_bench_json(const std::string& path, const ExperimentConfig& cfg,
+                      const ExperimentResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"app\": \"%s\",\n"
+               "  \"mode\": \"%s\",\n"
+               "  \"nodes\": %u,\n"
+               "  \"clients\": %u,\n"
+               "  \"seed\": %llu,\n"
+               "  \"sim_seconds\": %.6f,\n"
+               "  \"wall_seconds\": %.6f,\n"
+               "  \"events_executed\": %llu,\n"
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"commits\": %llu,\n"
+               "  \"throughput_txn_per_sec\": %.2f,\n"
+               "  \"messages\": %llu,\n"
+               "  \"invariants_ok\": %s\n"
+               "}\n",
+               cfg.app.c_str(), core::to_string(cfg.mode), cfg.num_nodes,
+               cfg.clients, static_cast<unsigned long long>(cfg.seed),
+               sim::to_seconds(cfg.duration), r.wall_seconds,
+               static_cast<unsigned long long>(r.events_executed),
+               r.events_per_sec(),
+               static_cast<unsigned long long>(r.commits), r.throughput,
+               static_cast<unsigned long long>(r.total_messages()),
+               r.invariants_ok ? "true" : "false");
+  std::fclose(f);
+  return true;
+}
+
 int main(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.duration = sim::sec(60);
-  if (!parse(argc, argv, cfg)) {
+  std::string bench_json;
+  if (!parse(argc, argv, cfg, bench_json)) {
     usage();
     return 2;
   }
@@ -146,5 +188,13 @@ int main(int argc, char** argv) {
   std::printf("aborts/commit     %10.2f\n", r.abort_rate());
   std::printf("msgs/commit       %10.1f\n", r.messages_per_commit());
   std::printf("invariants        %10s\n", r.invariants_ok ? "OK" : "VIOLATED");
+  std::printf("wall clock        %10.3f s\n", r.wall_seconds);
+  std::printf("events executed   %10llu\n",
+              static_cast<unsigned long long>(r.events_executed));
+  std::printf("events/sec        %10.0f\n", r.events_per_sec());
+
+  if (!bench_json.empty() && !write_bench_json(bench_json, cfg, r)) {
+    return 2;
+  }
   return r.invariants_ok ? 0 : 1;
 }
