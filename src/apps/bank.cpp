@@ -37,6 +37,10 @@ TxnBody BankApp::make_txn(const WorkloadParams& params, Rng& rng) {
 
   return [plan = std::move(plan), compute](Txn& t) -> sim::Task<void> {
     for (const Op& op : plan) {
+      // The [&] lambda coroutine is safe here: nested() takes the closure by
+      // value and is co_awaited within the same full expression, so the closure
+      // and the by-reference captures (locals of this suspended coroutine
+      // frame) both outlive the child.  qrdtm-lint: allow(coro-ref-capture)
       co_await t.nested([&op, compute](Txn& ct) -> sim::Task<void> {
         if (op.is_read) {
           std::int64_t total = dec_i64(co_await ct.read(op.a)) +

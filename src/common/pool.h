@@ -70,6 +70,10 @@ class PoolAllocator {
   PoolAllocator(const PoolAllocator<U>&) noexcept {}
 
   T* allocate(std::size_t n) {
+    // Recycled blocks come back through a plain `::operator new(size)`, so a
+    // type needing over-alignment would be constructed misaligned (UB).
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "PoolAllocator serves default-aligned types only");
     if (n == 1) {
       auto& fl = freelist();
       if (!fl.empty()) {
@@ -99,9 +103,18 @@ class PoolAllocator {
 
  private:
   static constexpr std::size_t kMaxPooled = 4096;
+  // The cache owns its blocks: they must go back to operator delete at
+  // thread exit, or every pooled block shows up as a leak (LeakSanitizer
+  // flags them once the vector's storage is torn down).
+  struct FreeList {
+    std::vector<void*> blocks;
+    ~FreeList() {
+      for (void* p : blocks) ::operator delete(p);
+    }
+  };
   static std::vector<void*>& freelist() {
-    static thread_local std::vector<void*> fl;
-    return fl;
+    static thread_local FreeList fl;
+    return fl.blocks;
   }
 };
 

@@ -360,11 +360,15 @@ void Txn::merge_into_parent() {
   QRDTM_CHECK(parent_ != nullptr);
   // Ownership transfers to the parent: a later conflict on these objects
   // must abort the parent, since this CT no longer exists (Alg. 3).
+  // Visit order does not matter: the merge is a keyed overwrite into the
+  // parent's maps, so the result is identical under any iteration order.
+  // qrdtm-lint: allow(det-unordered-iter)
   for (auto& [id, oc] : readset_) {
     oc.owner = parent_->scope_id_;
     oc.owner_depth = parent_->depth_;
     parent_->readset_[id] = std::move(oc);
   }
+  // Keyed overwrite as above.  qrdtm-lint: allow(det-unordered-iter)
   for (auto& [id, oc] : writeset_) {
     oc.owner = parent_->scope_id_;
     oc.owner_depth = parent_->depth_;

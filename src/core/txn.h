@@ -97,6 +97,9 @@ struct RuntimeConfig {
 class Txn;
 class TxnRuntime;
 
+// Constructed once per transaction attempt (not per event/message), so the
+// possible one-time allocation is outside the per-event hot path.
+// qrdtm-lint: allow(hot-std-function)
 using TxnBody = std::function<sim::Task<void>(Txn&)>;
 
 /// One open-nested operation (QR-ON, an extension beyond the paper

@@ -22,7 +22,22 @@ struct Detached {
 }  // namespace
 
 struct SpawnDriver {
+  // Captures the driver's own handle into the simulator's registry without
+  // actually suspending (await_suspend returning false resumes in place).
+  struct Register {
+    Simulator* sim;
+    std::size_t* slot;
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) noexcept {
+      *slot = sim->register_driver(h);
+      return false;
+    }
+    void await_resume() const noexcept {}
+  };
+
   static Detached drive(Simulator* sim, Task<void> task) {
+    std::size_t slot = 0;
+    co_await Register{sim, &slot};
     try {
       co_await std::move(task);
     } catch (...) {
@@ -30,16 +45,43 @@ struct SpawnDriver {
       // process is a bug in the experiment, not a recoverable condition.
       if (!sim->failure_) sim->failure_ = std::current_exception();
     }
+    sim->unregister_driver(slot);
   }
 };
 
 Simulator::~Simulator() {
-  // Destroy callables of events still pending (processes parked past the
-  // deadline when the experiment ended).
+  // Destroy detached processes still suspended mid-await (parked past the
+  // deadline when the experiment ended).  The driver frame owns its root
+  // Task frame, which transitively owns every nested child frame, so one
+  // destroy() unwinds the whole chain and releases promise states, wire
+  // buffers, and anything else the process still held.
+  auto drivers = std::move(drivers_);
+  for (auto h : drivers) {
+    if (h) h.destroy();
+  }
+  // Then destroy callables of events still pending, including any the
+  // unwind above may have scheduled.  Resume thunks hold raw (non-owning)
+  // handles, so discarding them never double-frees a frame.
   for (const HeapEntry& he : heap_) {
     Event& e = event(he.idx());
     e.discard(e);
   }
+}
+
+std::size_t Simulator::register_driver(std::coroutine_handle<> h) {
+  if (!driver_free_.empty()) {
+    const std::size_t slot = driver_free_.back();
+    driver_free_.pop_back();
+    drivers_[slot] = h;
+    return slot;
+  }
+  drivers_.push_back(h);
+  return drivers_.size() - 1;
+}
+
+void Simulator::unregister_driver(std::size_t slot) {
+  drivers_[slot] = nullptr;
+  driver_free_.push_back(slot);
 }
 
 void Simulator::grow_pool() {

@@ -79,7 +79,8 @@ class Simulator {
       };
     } else {
       // Oversized callable: boxed on the heap (rare; nothing in the
-      // repository's hot paths takes this branch).
+      // repository's hot paths takes this branch -- the AllocRegression
+      // tests would catch one).  qrdtm-lint: allow(hot-naked-new)
       auto* boxed = new Fn(std::forward<F>(fn));
       ::new (static_cast<void*>(e.buf)) Fn*(boxed);
       e.run = [](Event& ev) {
@@ -158,6 +159,12 @@ class Simulator {
     void (*discard)(Event&) = nullptr;  // destroy without invoking
     alignas(std::max_align_t) unsigned char buf[kInlineBytes];
   };
+  // The inline buffer must hold at least a boxed pointer (the oversized
+  // fallback stores a Fn* in it) and be max-aligned so any hot-path callable
+  // can be placement-constructed without adjustment.
+  static_assert(kInlineBytes >= sizeof(void*));
+  static_assert(alignof(Event) >= alignof(std::max_align_t));
+  static_assert(sizeof(Event::buf) == kInlineBytes);
 
   // Slots are chunked so they never move: a pool grow allocates a new chunk
   // without relocating live callables.
@@ -187,6 +194,17 @@ class Simulator {
       return at != o.at ? at < o.at : seq_idx < o.seq_idx;
     }
   };
+  // The packed-entry bit math is only sound while the index mask fits an
+  // unsigned (no shift past width) and seq has headroom in the high bits;
+  // the 16-byte / 8-aligned layout is what keeps sift moves register-sized.
+  static_assert(kIdxBits < 32, "index mask (1u << kIdxBits) must not overflow");
+  static_assert(kIdxBits < 64, "seq must have high bits left");
+  static_assert(sizeof(HeapEntry) == 16 && alignof(HeapEntry) == 8,
+                "HeapEntry must stay two registers wide");
+  static_assert(std::is_trivially_copyable_v<HeapEntry>);
+  static_assert(kChunkSize > 0 &&
+                    (std::size_t{1} << kIdxBits) % kChunkSize == 0,
+                "chunks must tile the index space exactly");
 
   // Hot-path helpers are inline: schedule_at instantiates in every caller's
   // TU and must not pay an out-of-line call per event.  Only the cold pool
@@ -214,6 +232,15 @@ class Simulator {
   HeapEntry heap_pop_min();
   void drain(Tick deadline);
 
+  // Detached-process registry (SpawnDriver).  Each spawned driver frame
+  // records itself here and clears its slot on normal completion; the
+  // destructor destroys whatever is still registered so processes suspended
+  // mid-await when the experiment ends do not leak their frames (and
+  // everything those frames transitively own: nested Task frames, promise
+  // states, wire buffers).
+  std::size_t register_driver(std::coroutine_handle<> h);
+  void unregister_driver(std::size_t slot);
+
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
@@ -222,6 +249,8 @@ class Simulator {
   std::vector<std::unique_ptr<Event[]>> chunks_;
   std::vector<std::uint32_t> free_;
   std::vector<HeapEntry> heap_;
+  std::vector<std::coroutine_handle<>> drivers_;  // null = slot free
+  std::vector<std::size_t> driver_free_;
 
   friend struct SpawnDriver;
 };

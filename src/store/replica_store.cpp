@@ -86,6 +86,8 @@ void ReplicaStore::drop_txn(TxnId txn) {
 
 std::size_t ReplicaStore::tracked_txn_entries() const {
   std::size_t total = 0;
+  // Commutative sum: any iteration order yields the same total.
+  // qrdtm-lint: allow(det-unordered-iter)
   for (const auto& [id, e] : entries_) {
     total += e.pr.size() + e.pw.size();
   }

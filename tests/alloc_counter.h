@@ -8,12 +8,29 @@
 // Over-aligned allocations (alignas > __STDCPP_DEFAULT_NEW_ALIGNMENT__) go
 // through the aligned overloads, which are deliberately not replaced; none
 // of the hot paths under test use them.
+//
+// Under AddressSanitizer the replacement is compiled out entirely: ASan
+// interposes operator new/delete itself (for poisoning and leak tracking),
+// so a malloc-based replacement would both fight the interceptor and make
+// the counts meaningless.  alloc_hook_active() then reports false and the
+// AllocRegression tests skip.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define QRDTM_ALLOC_COUNTER_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define QRDTM_ALLOC_COUNTER_DISABLED 1
+#endif
+#endif
+#ifndef QRDTM_ALLOC_COUNTER_DISABLED
+#define QRDTM_ALLOC_COUNTER_DISABLED 0
+#endif
 
 namespace qrdtm::testing {
 namespace detail {
@@ -25,16 +42,23 @@ inline void* volatile g_sink = nullptr;  // defeats new/delete pair elision
 inline std::uint64_t alloc_count() { return detail::g_allocs; }
 
 /// True when the replacement operator new is actually linked in (tests skip
-/// rather than fail on toolchains where the replacement is not effective).
+/// rather than fail on toolchains where the replacement is not effective,
+/// and always under ASan, where the replacement is compiled out).
 inline bool alloc_hook_active() {
+#if QRDTM_ALLOC_COUNTER_DISABLED
+  return false;
+#else
   const std::uint64_t before = detail::g_allocs;
   int* p = new int(42);
   detail::g_sink = p;
   delete p;
   return detail::g_allocs != before;
+#endif
 }
 
 }  // namespace qrdtm::testing
+
+#if !QRDTM_ALLOC_COUNTER_DISABLED
 
 // GCC flags free() inside replacement deletes as a new/free mismatch when it
 // inlines them next to a visible operator new; the pairing is fine (all the
@@ -64,3 +88,5 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
+
+#endif  // !QRDTM_ALLOC_COUNTER_DISABLED

@@ -1,0 +1,26 @@
+// Fixture: MUST produce coro-ref-capture diagnostics.
+namespace sim {
+template <class T>
+struct Task {};
+}  // namespace sim
+
+struct Txn {
+  int read(int);
+};
+
+sim::Task<void> build(Txn& t) {
+  int local = 7;
+  auto by_ref = [&](Txn& ct) -> sim::Task<void> {  // coro-ref-capture
+    co_await ct.read(local);
+  };
+  auto named_ref = [&local](Txn& ct) -> sim::Task<void> {  // coro-ref-capture
+    co_await ct.read(local);
+  };
+  auto implicit_this = [=]() -> sim::Task<void> {  // coro-ref-capture
+    co_return;
+  };
+  (void)by_ref;
+  (void)named_ref;
+  (void)implicit_this;
+  co_return;
+}

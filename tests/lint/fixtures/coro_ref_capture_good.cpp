@@ -1,0 +1,27 @@
+// Fixture: value captures in coroutine lambdas and by-reference captures in
+// *plain* lambdas are fine; no coro-ref-capture diagnostics expected.
+namespace sim {
+template <class T>
+struct Task {};
+}  // namespace sim
+
+struct Txn {
+  int read(int);
+};
+
+sim::Task<void> build(Txn& t) {
+  int local = 7;
+  // Coroutine lambda with explicit value captures: the copies live in the
+  // closure, which the caller owns for the coroutine's lifetime.
+  auto by_value = [local](Txn& ct) -> sim::Task<void> {
+    co_await ct.read(local);
+  };
+  // Plain (non-coroutine) lambda may capture by reference freely: it runs
+  // synchronously inside the enclosing frame's lifetime.
+  auto plain = [&local](int x) { return local + x; };
+  (void)by_value;
+  (void)plain(1);
+  int arr[2] = {0, 1};       // subscripts must not parse as lambda intros
+  (void)arr[local % 2];
+  co_return;
+}

@@ -1,0 +1,21 @@
+// Fixture: MUST produce coro-temp-ref diagnostics.
+namespace sim {
+template <class T>
+struct Task {};
+}  // namespace sim
+
+struct Config {
+  int retries;
+};
+
+sim::Task<void> with_config(const Config& cfg);
+sim::Task<void> with_count(const int& n);
+
+void spawn(sim::Task<void> t);
+
+void launch() {
+  // The braced temporary dies when launch() returns to its caller, but the
+  // spawned coroutine keeps referencing it across suspensions.
+  spawn(with_config(Config{3}));  // coro-temp-ref
+  spawn(with_count(42));          // coro-temp-ref
+}

@@ -1,0 +1,23 @@
+// Fixture: named arguments, and temporaries in *directly awaited* calls
+// (which live until the full co_await expression completes), are fine; no
+// coro-temp-ref diagnostics expected.
+namespace sim {
+template <class T>
+struct Task {};
+}  // namespace sim
+
+struct Config {
+  int retries;
+};
+
+sim::Task<void> with_config(const Config& cfg);
+sim::Task<void> by_value(Config cfg);
+
+void spawn(sim::Task<void> t);
+
+sim::Task<void> launch() {
+  Config cfg{3};
+  spawn(with_config(cfg));          // named object outlives the statement...
+  co_await with_config(Config{3});  // ...and awaited temporaries are safe
+  spawn(by_value(Config{3}));       // value parameter: moved into the frame
+}

@@ -1,0 +1,14 @@
+// Fixture: MUST produce det-pointer-key diagnostics.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+struct Node {
+  int id;
+};
+
+struct Registry {
+  std::map<Node*, int> ranks_;                 // det-pointer-key
+  std::set<const Node*> seen_;                 // det-pointer-key
+  std::unordered_map<void*, int> by_addr_;     // det-pointer-key
+};

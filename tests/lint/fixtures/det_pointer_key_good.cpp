@@ -1,0 +1,16 @@
+// Fixture: id-keyed containers (and pointer *values*) are fine; no
+// det-pointer-key diagnostics expected.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+struct Node {
+  std::uint64_t id;
+};
+
+struct Registry {
+  std::map<std::uint64_t, Node*> by_id_;   // pointer value, not key
+  std::set<std::uint64_t> seen_;
+  std::unordered_map<std::uint64_t, int> ranks_;
+};

@@ -1,0 +1,11 @@
+// Fixture: MUST produce det-rand diagnostics.
+#include <cstdlib>
+#include <random>
+
+int host_randomness() {
+  std::random_device rd;                 // det-rand
+  int x = rand() % 100;                  // det-rand
+  srand(42);                             // det-rand
+  std::mt19937 gen(rd());                // det-rand
+  return x + static_cast<int>(gen());
+}

@@ -1,0 +1,16 @@
+// Fixture: seeded qrdtm Rng streams are the sanctioned randomness source;
+// no det-rand diagnostics expected.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ = state_ * 6364136223846793005ull + 1; }
+  std::uint64_t state_;
+};
+
+std::uint64_t seeded_randomness(std::uint64_t seed) {
+  Rng rng(seed);
+  // An identifier merely *containing* the banned names must not match.
+  std::uint64_t random_total = rng.next();
+  return random_total;
+}

@@ -1,0 +1,14 @@
+// Fixture: MUST produce det-thread diagnostics.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+int host_threads() {
+  std::mutex m;                        // det-thread
+  std::thread t([] {});                // det-thread
+  thread_local int counter = 0;        // det-thread
+  std::atomic<int> hits{0};            // det-thread
+  t.join();
+  std::lock_guard<std::mutex> g(m);    // det-thread
+  return ++counter + hits.load();
+}

@@ -1,0 +1,13 @@
+// Fixture: single-threaded kernel code; no det-thread diagnostics expected.
+#include <cstdint>
+
+struct Simulator {
+  void step() { ++events_; }
+  std::uint64_t events_ = 0;
+};
+
+// Identifiers containing the banned words must not match.
+void run(Simulator& sim, int thread_count_hint) {
+  (void)thread_count_hint;  // sweeps parallelise across Simulators, not within
+  sim.step();
+}

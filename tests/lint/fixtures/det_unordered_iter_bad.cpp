@@ -1,0 +1,20 @@
+// Fixture: MUST produce det-unordered-iter diagnostics.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Store {
+  std::unordered_map<std::uint64_t, int> entries_;
+  std::unordered_set<std::uint64_t> ids_;
+
+  int checksum() const {
+    int h = 0;
+    for (const auto& [id, v] : entries_) {  // det-unordered-iter
+      h = h * 31 + v;                       // order-dependent!
+    }
+    for (std::uint64_t id : ids_) {         // det-unordered-iter
+      h ^= static_cast<int>(id);
+    }
+    return h;
+  }
+};

@@ -1,0 +1,21 @@
+// Fixture: ordered-map iteration and point lookups into unordered maps are
+// fine; no det-unordered-iter diagnostics expected.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+struct Store {
+  std::map<std::uint64_t, int> ordered_;
+  std::unordered_map<std::uint64_t, int> index_;
+
+  int lookup_sum(const std::map<std::uint64_t, int>& keys) const {
+    int total = 0;
+    for (const auto& [id, v] : ordered_) {  // std::map: deterministic order
+      total += v;
+    }
+    for (const auto& [id, v] : keys) {
+      if (auto it = index_.find(id); it != index_.end()) total += it->second;
+    }
+    return total;
+  }
+};

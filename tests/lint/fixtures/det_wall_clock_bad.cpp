@@ -1,0 +1,12 @@
+// Fixture: MUST produce det-wall-clock diagnostics.
+#include <chrono>
+#include <ctime>
+
+long host_time() {
+  auto a = std::chrono::steady_clock::now();            // det-wall-clock
+  auto b = std::chrono::system_clock::now();            // det-wall-clock
+  auto c = std::chrono::high_resolution_clock::now();   // det-wall-clock
+  long t = time(nullptr);                               // det-wall-clock
+  (void)a; (void)b; (void)c;
+  return t;
+}

@@ -1,0 +1,19 @@
+// Fixture: simulated time and member functions *named* time are fine; no
+// det-wall-clock diagnostics expected.
+#include <cstdint>
+
+using Tick = std::uint64_t;
+
+struct Simulator {
+  Tick now() const { return now_; }
+  Tick now_ = 0;
+};
+
+struct Sample {
+  Tick time(int idx) const { return base + idx; }  // declaration, not a call
+  Tick base = 0;
+};
+
+Tick simulated_time(const Simulator& sim, const Sample& s) {
+  return sim.now() + s.time(3);  // member call, not ::time()
+}

@@ -1,0 +1,10 @@
+// Fixture: MUST produce a hot-make-shared diagnostic.
+#include <memory>
+
+struct Undo {
+  int steps;
+};
+
+std::shared_ptr<Undo> record(int steps) {
+  return std::make_shared<Undo>(steps);  // hot-make-shared
+}

@@ -1,0 +1,10 @@
+// Fixture: stack ownership on the hot path; no hot-make-shared diagnostics
+// expected.
+struct Undo {
+  int steps;
+};
+
+int replay(int steps) {
+  Undo undo{steps};  // stack-owned, no refcounting
+  return undo.steps;
+}

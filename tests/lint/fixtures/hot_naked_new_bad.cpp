@@ -1,0 +1,10 @@
+// Fixture: MUST produce hot-naked-new diagnostics.
+struct Event {
+  int payload;
+};
+
+Event* emit(int v) {
+  int* scratch = new int(v);  // hot-naked-new
+  delete scratch;
+  return new Event{v};        // hot-naked-new
+}

@@ -1,0 +1,18 @@
+// Fixture: placement new into pooled storage and operator-new declarations
+// are fine; no hot-naked-new diagnostics expected.
+#include <cstddef>
+#include <new>
+
+struct Event {
+  int payload;
+};
+
+struct Slot {
+  alignas(Event) unsigned char buf[sizeof(Event)];
+
+  Event* emplace(int v) { return ::new (static_cast<void*>(buf)) Event{v}; }
+};
+
+struct Counted {
+  static void* operator new(std::size_t n);  // declaration, not allocation
+};

@@ -1,0 +1,11 @@
+// Fixture: MUST produce hot-std-function diagnostics.
+#include <functional>
+
+struct Dispatcher {
+  std::function<void(int)> on_event_;  // hot-std-function
+
+  void fire(int v) {
+    std::function<void(int)> local = on_event_;  // hot-std-function
+    local(v);
+  }
+};

@@ -1,0 +1,14 @@
+// Fixture: function pointers and templated callables are fine on hot
+// paths; no hot-std-function diagnostics expected.
+struct Dispatcher {
+  using Handler = void (*)(void*, int);
+
+  template <class F>
+  void fire(F&& f, int v) {
+    f(v);
+    if (handler_) handler_(ctx_, v);
+  }
+
+  Handler handler_ = nullptr;
+  void* ctx_ = nullptr;
+};

@@ -1,0 +1,32 @@
+// Fixture: every violation below carries a `qrdtm-lint: allow(...)`
+// directive (same-line and preceding-line forms), so the file must lint
+// clean under all three rule families.
+#include <cstdlib>
+#include <functional>
+#include <unordered_map>
+
+struct Hub {
+  std::unordered_map<int, int> routes_;
+
+  int seed_entropy() {
+    // One-time seeding at process start, outside the simulation.
+    // qrdtm-lint: allow(det-rand)
+    return rand();
+  }
+
+  int checksum() {
+    int h = 0;
+    for (const auto& [k, v] : routes_) {  // qrdtm-lint: allow(det-unordered-iter)
+      h += v;  // commutative
+    }
+    return h;
+  }
+
+  // Registration-time only.  qrdtm-lint: allow(hot-std-function)
+  std::function<void(int)> on_route_;
+};
+
+Hub* boot() {
+  // Startup allocation, freed at shutdown.  qrdtm-lint: allow(hot-naked-new)
+  return new Hub();
+}

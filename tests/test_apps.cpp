@@ -70,7 +70,9 @@ void reference_model_test(NestingMode mode, std::uint32_t initial) {
       c.spawn_client(3, app.make_lookup(key, &v, &found));
       c.run_to_completion();
       ASSERT_EQ(found, ref.contains(key)) << "key " << key << " iter " << i;
-      if (found) ASSERT_EQ(v, ref.at(key));
+      if (found) {
+        ASSERT_EQ(v, ref.at(key));
+      }
     }
   }
 

@@ -32,7 +32,7 @@ TEST(Network, DeliversAfterLatencyPlusService) {
   Tick delivered_at = 0;
   NodeId a = net->add_node([](const Message&) {});
   NodeId b = net->add_node([&](const Message&) { delivered_at = s.now(); });
-  net->send(Message{.src = a, .dst = b, .kind = 1});
+  net->send(Message{.src = a, .dst = b, .kind = 1, .payload = {}});
   s.run();
   EXPECT_EQ(delivered_at, sim::msec(10) + sim::usec(100));
 }
@@ -44,7 +44,7 @@ TEST(Network, ServiceQueueSerialisesArrivals) {
   NodeId a = net->add_node([](const Message&) {});
   NodeId b = net->add_node([&](const Message&) { times.push_back(s.now()); });
   for (int i = 0; i < 3; ++i) {
-    net->send(Message{.src = a, .dst = b, .kind = 1});
+    net->send(Message{.src = a, .dst = b, .kind = 1, .payload = {}});
   }
   s.run();
   ASSERT_EQ(times.size(), 3u);
@@ -61,7 +61,7 @@ TEST(Network, DeadDestinationDropsMessages) {
   NodeId a = net->add_node([](const Message&) {});
   NodeId b = net->add_node([&](const Message&) { ++got; });
   net->kill(b);
-  net->send(Message{.src = a, .dst = b, .kind = 1});
+  net->send(Message{.src = a, .dst = b, .kind = 1, .payload = {}});
   s.run();
   EXPECT_EQ(got, 0);
   EXPECT_EQ(net->stats().dropped_dead, 1u);
@@ -75,7 +75,7 @@ TEST(Network, DeadSenderCannotSend) {
   NodeId a = net->add_node([](const Message&) {});
   NodeId b = net->add_node([&](const Message&) { ++got; });
   net->kill(a);
-  net->send(Message{.src = a, .dst = b, .kind = 1});
+  net->send(Message{.src = a, .dst = b, .kind = 1, .payload = {}});
   s.run();
   EXPECT_EQ(got, 0);
 }
@@ -86,7 +86,7 @@ TEST(Network, KillMidFlightDropsAtArrival) {
   int got = 0;
   NodeId a = net->add_node([](const Message&) {});
   NodeId b = net->add_node([&](const Message&) { ++got; });
-  net->send(Message{.src = a, .dst = b, .kind = 1});
+  net->send(Message{.src = a, .dst = b, .kind = 1, .payload = {}});
   s.schedule_at(sim::msec(5), [&] { net->kill(b); });
   s.run();
   EXPECT_EQ(got, 0);
@@ -97,9 +97,9 @@ TEST(Network, StatsCountByKind) {
   auto net = make_net(s, sim::msec(1));
   NodeId a = net->add_node([](const Message&) {});
   NodeId b = net->add_node([](const Message&) {});
-  net->send(Message{.src = a, .dst = b, .kind = 5});
-  net->send(Message{.src = a, .dst = b, .kind = 5});
-  net->send(Message{.src = a, .dst = b, .kind = 9});
+  net->send(Message{.src = a, .dst = b, .kind = 5, .payload = {}});
+  net->send(Message{.src = a, .dst = b, .kind = 5, .payload = {}});
+  net->send(Message{.src = a, .dst = b, .kind = 9, .payload = {}});
   s.run();
   EXPECT_EQ(net->stats().sent_total, 3u);
   EXPECT_EQ(net->stats().sent_by_kind(5), 2u);
@@ -246,7 +246,7 @@ TEST(Rpc, LateResponseAfterTimeoutIsIgnored) {
 
 TEST(AllocRegression, SteadyStateRpcRoundTripIsAllocationFree) {
   if (!qrdtm::testing::alloc_hook_active()) {
-    GTEST_SKIP() << "operator new replacement not linked in";
+    GTEST_SKIP() << "allocation counting unavailable (sanitizer build intercepts\n operator new, or replacement not linked in)";
   }
   Simulator s;
   auto net = make_net(s, sim::usec(100), sim::usec(10));

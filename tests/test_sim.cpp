@@ -269,7 +269,7 @@ TEST(SimProperty, DeterministicInterleaving) {
 
 TEST(AllocRegression, SteadyStateScheduleCycleIsAllocationFree) {
   if (!qrdtm::testing::alloc_hook_active()) {
-    GTEST_SKIP() << "operator new replacement not linked in";
+    GTEST_SKIP() << "allocation counting unavailable (sanitizer build intercepts\n operator new, or replacement not linked in)";
   }
   Simulator s;
   std::uint64_t after_warm = 0;
@@ -297,7 +297,7 @@ TEST(AllocRegression, SteadyStateScheduleCycleIsAllocationFree) {
 
 TEST(AllocRegression, SteadyStateDelayResumeIsAllocationFree) {
   if (!qrdtm::testing::alloc_hook_active()) {
-    GTEST_SKIP() << "operator new replacement not linked in";
+    GTEST_SKIP() << "allocation counting unavailable (sanitizer build intercepts\n operator new, or replacement not linked in)";
   }
   Simulator s;
   std::uint64_t after_warm = 0;

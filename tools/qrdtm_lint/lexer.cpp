@@ -1,0 +1,210 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace qrdtm::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse "qrdtm-lint: allow(a, b)" directives out of a comment and record
+/// the named rules as suppressed on `line` and `line + 1`.
+void scan_directive(std::string_view comment, int line, SuppressionMap* out) {
+  constexpr std::string_view kKey = "qrdtm-lint:";
+  std::size_t at = comment.find(kKey);
+  if (at == std::string_view::npos) return;
+  std::size_t p = at + kKey.size();
+  while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+  constexpr std::string_view kAllow = "allow(";
+  if (comment.compare(p, kAllow.size(), kAllow) != 0) return;
+  p += kAllow.size();
+  std::size_t close = comment.find(')', p);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(p, close - p);
+  // Split on commas, trim whitespace.
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    std::string_view item = list.substr(
+        start, comma == std::string_view::npos ? list.size() - start
+                                               : comma - start);
+    while (!item.empty() && std::isspace(static_cast<unsigned char>(item.front())))
+      item.remove_prefix(1);
+    while (!item.empty() && std::isspace(static_cast<unsigned char>(item.back())))
+      item.remove_suffix(1);
+    if (!item.empty()) {
+      auto& lines = (*out)[std::string(item)];
+      lines.insert(line);
+      lines.insert(line + 1);
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+}
+
+// Two- and three-character punctuators, longest first so maximal munch
+// applies.  Keeping "<=" ">=" "<<" ">>" etc. fused means the template-depth
+// scanners in rules.cpp only see bare '<' / '>' where the source really has
+// an angle bracket (">>" still closes two templates; rules handle that).
+constexpr std::string_view kPuncts3[] = {"<<=", ">>=", "<=>", "...", "->*"};
+constexpr std::string_view kPuncts2[] = {
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto at_line_start = [&](std::size_t pos) {
+    while (pos > 0) {
+      char c = src[pos - 1];
+      if (c == '\n') return true;
+      if (c != ' ' && c != '\t') return false;
+      --pos;
+    }
+    return true;
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honouring backslash
+    // continuations (nothing in a directive participates in the rules).
+    if (c == '#' && at_line_start(i)) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      scan_directive(src.substr(start, i - start), line, &out.suppressions);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t start = i;
+      int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      scan_directive(src.substr(start, i - start), start_line,
+                     &out.suppressions);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t start = i;
+      std::size_t p = i + 2;
+      std::size_t dstart = p;
+      while (p < n && src[p] != '(') ++p;
+      std::string_view delim = src.substr(dstart, p - dstart);
+      std::string close;
+      close.reserve(delim.size() + 2);
+      close += ')';
+      close += delim;
+      close += '"';
+      std::size_t end = src.find(close, p);
+      end = end == std::string_view::npos ? n : end + close.size();
+      for (std::size_t k = i; k < end; ++k)
+        if (src[k] == '\n') ++line;
+      out.tokens.push_back({Tok::kString, src.substr(start, end - start),
+                            line});
+      i = end;
+      continue;
+    }
+    // String / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      std::size_t start = i;
+      int start_line = line;
+      ++i;
+      while (i < n && src[i] != c) {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        } else if (src[i] == '\n') {
+          ++line;  // ill-formed, but keep line counts sane
+        }
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back({c == '"' ? Tok::kString : Tok::kChar,
+                            src.substr(start, i - start), start_line});
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back({Tok::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+    // Number (we do not need precise pp-number semantics; digits, dots,
+    // exponent signs and ' separators are enough).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t start = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back({Tok::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuator: fuse multi-char forms.
+    std::size_t len = 1;
+    for (std::string_view p3 : kPuncts3) {
+      if (src.compare(i, p3.size(), p3) == 0) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (std::string_view p2 : kPuncts2) {
+        if (src.compare(i, p2.size(), p2) == 0) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    out.tokens.push_back({Tok::kPunct, src.substr(i, len), line});
+    i += len;
+  }
+  out.tokens.push_back({Tok::kEnd, {}, line});
+  return out;
+}
+
+}  // namespace qrdtm::lint

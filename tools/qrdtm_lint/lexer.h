@@ -1,0 +1,55 @@
+// Minimal C++ tokenizer for qrdtm_lint.
+//
+// This is NOT a compiler front end: it produces a flat stream of
+// identifiers, literals and punctuators with line numbers, which is exactly
+// enough for the pattern rules in rules.cpp.  It understands the lexical
+// constructs that would otherwise produce false matches -- line/block
+// comments, string/char literals (including raw strings), and preprocessor
+// directives (skipped, with line-continuation handling) -- and it merges
+// multi-character punctuators ("::", "->", "<=", ">>", ...) so rules can
+// match on single tokens without worrying about maximal munch.
+//
+// Comments are scanned for suppression directives of the form
+//
+//     // qrdtm-lint: allow(rule-a, rule-b)
+//
+// A directive suppresses the named rules on its own line and on the line
+// that follows it (so it can trail the offending code or sit just above).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qrdtm::lint {
+
+enum class Tok {
+  kIdent,  // identifiers and keywords (co_await, new, for, ...)
+  kNumber,
+  kString,  // string literal (text excludes quotes' content details)
+  kChar,
+  kPunct,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string_view text;  // view into the source buffer
+  int line = 0;
+};
+
+/// Lines on which each rule is suppressed: rule name -> set of line numbers.
+using SuppressionMap = std::map<std::string, std::set<int>>;
+
+struct LexResult {
+  std::vector<Token> tokens;  // terminated by a kEnd token
+  SuppressionMap suppressions;
+};
+
+/// Tokenize `source`.  The returned tokens view into `source`, which must
+/// outlive the result.
+LexResult lex(std::string_view source);
+
+}  // namespace qrdtm::lint

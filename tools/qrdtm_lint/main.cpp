@@ -1,0 +1,197 @@
+// qrdtm_lint -- in-tree determinism / coroutine-safety / hot-path analyzer.
+//
+// Usage:
+//   qrdtm_lint [options] <file-or-dir>...
+//
+// Options:
+//   --rules det,coro,hot   Force the listed rule families onto every input
+//                          file (used by the fixture self-tests).  Without
+//                          it, families are selected per file from its path:
+//                            det : src/{sim,core,quorum,net,store,apps,
+//                                  baselines} (bench/ and tools/ exempt)
+//                            coro: every file
+//                            hot : src/sim, src/net, src/core/txn.*
+//   --list-rules           Print every rule name and exit.
+//   -q                     Only print the summary line.
+//
+// Exit status: 0 = no diagnostics, 1 = diagnostics found, 2 = usage/IO
+// error.  Diagnostics are suppressible in source with
+// `// qrdtm-lint: allow(<rule>)` on the same or the preceding line.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace fs = std::filesystem;
+using namespace qrdtm::lint;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  std::string e = p.extension().string();
+  return e == ".h" || e == ".hpp" || e == ".hh" || e == ".cpp" ||
+         e == ".cc" || e == ".cxx";
+}
+
+bool contains_dir(const std::string& path, const char* dir) {
+  // Match `dir` as a whole path component ("/sim/" or leading "sim/").
+  std::string needle = std::string("/") + dir + "/";
+  std::string hay = "/" + path;
+  return hay.find(needle) != std::string::npos;
+}
+
+unsigned families_for(const fs::path& file) {
+  std::string p = file.generic_string();
+  unsigned fam = kCoro;
+  const bool exempt = contains_dir(p, "bench") || contains_dir(p, "tools") ||
+                      contains_dir(p, "tests") || contains_dir(p, "examples");
+  if (!exempt) {
+    for (const char* d :
+         {"sim", "core", "quorum", "net", "store", "apps", "baselines"}) {
+      if (contains_dir(p, d)) {
+        fam |= kDet;
+        break;
+      }
+    }
+    const std::string stem = file.filename().string();
+    if (contains_dir(p, "sim") || contains_dir(p, "net") ||
+        (contains_dir(p, "core") && stem.rfind("txn.", 0) == 0)) {
+      fam |= kHot;
+    }
+  }
+  return fam;
+}
+
+struct FileEntry {
+  fs::path path;
+  std::string source;
+  LexResult lexed;
+  unsigned families = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> inputs;
+  unsigned forced_families = 0;
+  bool quiet = false;
+
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--list-rules") {
+      for (const std::string& r : all_rule_names()) std::puts(r.c_str());
+      return 0;
+    }
+    if (arg == "-q") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--rules") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "qrdtm_lint: --rules needs an argument\n");
+        return 2;
+      }
+      std::stringstream ss(argv[++a]);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (item == "det") forced_families |= kDet;
+        else if (item == "coro") forced_families |= kCoro;
+        else if (item == "hot") forced_families |= kHot;
+        else {
+          std::fprintf(stderr, "qrdtm_lint: unknown rule family '%s'\n",
+                       item.c_str());
+          return 2;
+        }
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "qrdtm_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+    inputs.emplace_back(arg);
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: qrdtm_lint [--rules det,coro,hot] [--list-rules] "
+                 "[-q] <file-or-dir>...\n");
+    return 2;
+  }
+
+  // Gather files.
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (auto it = fs::recursive_directory_iterator(in, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        const fs::path& p = it->path();
+        std::string name = p.filename().string();
+        if (it->is_directory() &&
+            (name.rfind("build", 0) == 0 || name == ".git")) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && has_source_ext(p)) files.push_back(p);
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      std::fprintf(stderr, "qrdtm_lint: cannot read '%s'\n",
+                   in.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Lex everything, grouping by parent directory so cross-file symbols
+  // (e.g. an unordered member declared in foo.h, iterated in foo.cpp) are
+  // visible without leaking names across unrelated subsystems.
+  std::vector<FileEntry> entries;
+  std::map<std::string, SymbolTable> tables;
+  for (const fs::path& f : files) {
+    std::ifstream ifs(f, std::ios::binary);
+    if (!ifs) {
+      std::fprintf(stderr, "qrdtm_lint: cannot open '%s'\n",
+                   f.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << ifs.rdbuf();
+    FileEntry e;
+    e.path = f;
+    e.source = std::move(buf).str();
+    e.lexed = lex(e.source);
+    e.families = forced_families ? forced_families : families_for(f);
+    collect_symbols(e.lexed, &tables[f.parent_path().generic_string()]);
+    entries.push_back(std::move(e));
+  }
+
+  std::vector<Diagnostic> diags;
+  for (const FileEntry& e : entries) {
+    run_rules(e.path.generic_string(), e.lexed,
+              tables[e.path.parent_path().generic_string()], e.families,
+              &diags);
+  }
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return a.file != b.file ? a.file < b.file : a.line < b.line;
+            });
+  if (!quiet) {
+    for (const Diagnostic& d : diags) {
+      std::fprintf(stderr, "%s:%d: error: [%s] %s\n", d.file.c_str(), d.line,
+                   d.rule.c_str(), d.message.c_str());
+    }
+  }
+  std::fprintf(stderr, "qrdtm_lint: %zu file(s), %zu diagnostic(s)\n",
+               entries.size(), diags.size());
+  return diags.empty() ? 0 : 1;
+}

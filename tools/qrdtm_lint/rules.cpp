@@ -1,0 +1,579 @@
+#include "rules.h"
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace qrdtm::lint {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Tok::kIdent && t.text == s;
+}
+
+/// `i` points at '<'.  Returns the index just past the matching '>', or npos
+/// if this '<' does not open a (plausible) template argument list.  ">>"
+/// closes two levels; angles inside parentheses are ignored.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  int parens = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    const Token& tk = t[k];
+    if (tk.kind == Tok::kEnd) return npos;
+    if (tk.kind != Tok::kPunct) continue;
+    if (tk.text == "(" || tk.text == "[") {
+      ++parens;
+    } else if (tk.text == ")" || tk.text == "]") {
+      if (--parens < 0) return npos;
+    } else if (parens == 0) {
+      if (tk.text == "<") {
+        ++depth;
+      } else if (tk.text == ">") {
+        if (--depth == 0) return k + 1;
+      } else if (tk.text == ">>") {
+        depth -= 2;
+        if (depth <= 0) return k + 1;
+      } else if (tk.text == ";" || tk.text == "{" || tk.text == "}") {
+        return npos;  // statement boundary: was a comparison, not a template
+      }
+    }
+  }
+  return npos;
+}
+
+/// `i` points at an opener ("(", "[" or "{").  Returns the index just past
+/// the matching closer, or npos.
+std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i) {
+  std::string_view open = t[i].text;
+  std::string_view close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != Tok::kPunct) continue;
+    if (t[k].text == open) ++depth;
+    if (t[k].text == close && --depth == 0) return k + 1;
+  }
+  return npos;
+}
+
+struct Ctx {
+  const std::string& file;
+  const std::vector<Token>& t;
+  const SuppressionMap& sup;
+  const SymbolTable& table;
+  std::vector<Diagnostic>* out;
+
+  void diag(int line, const char* rule, std::string msg) const {
+    if (auto it = sup.find(rule); it != sup.end() && it->second.count(line)) {
+      return;
+    }
+    out->push_back(Diagnostic{file, line, rule, std::move(msg)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Family: det
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kRandStd[] = {
+    "random_device", "mt19937",      "mt19937_64",
+    "minstd_rand",   "minstd_rand0", "default_random_engine",
+    "ranlux24",      "ranlux48",     "knuth_b",
+};
+constexpr std::string_view kRandCalls[] = {"rand",    "srand",   "rand_r",
+                                           "drand48", "lrand48", "mrand48",
+                                           "random",  "srandom"};
+constexpr std::string_view kClockIdents[] = {"system_clock", "steady_clock",
+                                             "high_resolution_clock"};
+constexpr std::string_view kClockCalls[] = {"time", "clock", "gettimeofday",
+                                            "clock_gettime", "timespec_get",
+                                            "ftime"};
+constexpr std::string_view kThreadStd[] = {
+    "thread",         "jthread",
+    "mutex",          "timed_mutex",
+    "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex",   "shared_timed_mutex",
+    "condition_variable", "condition_variable_any",
+    "async",          "barrier",
+    "latch",          "counting_semaphore",
+    "binary_semaphore", "atomic",
+    "atomic_flag",    "atomic_ref",
+};
+
+template <class Range>
+bool in(std::string_view needle, const Range& range) {
+  for (std::string_view s : range) {
+    if (s == needle) return true;
+  }
+  return false;
+}
+
+/// True when t[i] looks like a *call* of a global/libc function: the
+/// identifier is followed by '(' and is not a member access, a
+/// qualified name from a non-std namespace, or a declaration
+/// (`Tick time(...)`).
+bool is_free_call(const std::vector<Token>& t, std::size_t i) {
+  if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) return false;
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+  if (is_punct(prev, "::")) {
+    // std::time( / ::time( count; qrdtm::sim::time( would not.
+    return i >= 2 ? is_ident(t[i - 2], "std") : true;
+  }
+  // `Tick time(...)` (a declaration) or `foo time(...)`: preceded by an
+  // identifier or a type-ish token -- not a call.
+  if (prev.kind == Tok::kIdent) return false;
+  if (is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&")) {
+    return false;
+  }
+  return true;
+}
+
+void check_det(const Ctx& c) {
+  const auto& t = c.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    std::string_view name = t[i].text;
+    const bool std_qualified =
+        i >= 2 && is_punct(t[i - 1], "::") && is_ident(t[i - 2], "std");
+
+    if (std_qualified && in(name, kRandStd)) {
+      c.diag(t[i].line, "det-rand",
+             "std::" + std::string(name) +
+                 " is host randomness; use a seeded qrdtm::Rng stream");
+      continue;
+    }
+    if (in(name, kRandCalls) && is_free_call(t, i)) {
+      c.diag(t[i].line, "det-rand",
+             std::string(name) +
+                 "() is host randomness; use a seeded qrdtm::Rng stream");
+      continue;
+    }
+    if (in(name, kClockIdents)) {
+      c.diag(t[i].line, "det-wall-clock",
+             "std::chrono::" + std::string(name) +
+                 " reads the host clock; use sim::Simulator::now()");
+      continue;
+    }
+    if (in(name, kClockCalls) && is_free_call(t, i)) {
+      c.diag(t[i].line, "det-wall-clock",
+             std::string(name) +
+                 "() reads the host clock; use sim::Simulator::now()");
+      continue;
+    }
+    if (std_qualified && in(name, kThreadStd)) {
+      c.diag(t[i].line, "det-thread",
+             "std::" + std::string(name) +
+                 " introduces host scheduling nondeterminism; the kernel is "
+                 "single-threaded (parallelise across Simulators)");
+      continue;
+    }
+    if (is_ident(t[i], "thread_local")) {
+      c.diag(t[i].line, "det-thread",
+             "thread_local state in protocol code hides cross-run variation; "
+             "scope state to the Simulator instead");
+      continue;
+    }
+
+    // Pointer-keyed associative containers: iteration order (ordered) or
+    // hash placement (unordered) then depends on allocation addresses.
+    static constexpr std::string_view kAssoc[] = {
+        "map",           "set",           "multimap",          "multiset",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    if (in(name, kAssoc) && i + 1 < t.size() && is_punct(t[i + 1], "<")) {
+      // Examine the first template argument for a top-level '*'.
+      int depth = 0;
+      bool ptr = false;
+      for (std::size_t k = i + 1; k < t.size(); ++k) {
+        if (t[k].kind != Tok::kPunct) continue;
+        if (t[k].text == "<") ++depth;
+        else if (t[k].text == ">" || t[k].text == ">>") break;
+        else if (t[k].text == "," && depth == 1) break;
+        else if (t[k].text == "*" && depth == 1) ptr = true;
+        else if (t[k].text == ";" || t[k].text == "{") break;
+      }
+      if (ptr) {
+        c.diag(t[i].line, "det-pointer-key",
+               "container keyed on a pointer: ordering/placement depends on "
+               "allocation addresses, which vary across runs; key on a "
+               "stable id instead");
+      }
+    }
+
+    // Range-for over a std::unordered_* variable (bare identifier or
+    // this->identifier only; member-access chains are not resolvable at
+    // token level and are left to review).
+    if (name == "for" && i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+      std::size_t close = skip_balanced(t, i + 1);
+      if (close == npos) continue;
+      std::size_t colon = npos;
+      int depth = 0;
+      for (std::size_t k = i + 1; k < close - 1; ++k) {
+        if (t[k].kind != Tok::kPunct) continue;
+        if (t[k].text == "(" || t[k].text == "[" || t[k].text == "{") ++depth;
+        else if (t[k].text == ")" || t[k].text == "]" || t[k].text == "}") --depth;
+        else if (t[k].text == ":" && depth == 1) {
+          colon = k;
+          break;
+        }
+      }
+      if (colon == npos) continue;
+      // Sequence expression tokens: (colon, close-1).
+      std::size_t b = colon + 1;
+      std::size_t e = close - 1;  // index of ')'
+      std::string_view seq_name;
+      if (e - b == 1 && t[b].kind == Tok::kIdent) {
+        seq_name = t[b].text;
+      } else if (e - b == 3 && is_ident(t[b], "this") &&
+                 is_punct(t[b + 1], "->") && t[b + 2].kind == Tok::kIdent) {
+        seq_name = t[b + 2].text;
+      }
+      if (!seq_name.empty() &&
+          c.table.unordered_vars.count(std::string(seq_name))) {
+        c.diag(t[i].line, "det-unordered-iter",
+               "iterating std::unordered_* container '" +
+                   std::string(seq_name) +
+                   "': hash iteration order is unspecified and breaks "
+                   "deterministic replay; use a sorted view or an order-"
+                   "independent reduction");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Family: coro
+// ---------------------------------------------------------------------------
+
+struct Lambda {
+  std::size_t intro;      // index of '['
+  std::size_t body_open;  // index of '{'
+  std::size_t body_close; // index just past '}'
+  bool ref_capture = false;
+  bool default_copy = false;  // [=] -- captures `this` implicitly
+  bool has_coro_kw = false;   // co_await / co_return / co_yield in own body
+};
+
+bool lambda_intro_at(const std::vector<Token>& t, std::size_t i) {
+  if (!is_punct(t[i], "[")) return false;
+  // Attribute [[...]]?
+  if (i + 1 < t.size() && is_punct(t[i + 1], "[")) return false;
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  // Subscript or array declarator when preceded by a value-ish token.
+  if (prev.kind == Tok::kIdent || prev.kind == Tok::kNumber ||
+      prev.kind == Tok::kString) {
+    return false;
+  }
+  if (is_punct(prev, "]") || is_punct(prev, ")")) return false;
+  if (is_punct(prev, "[")) return false;  // second bracket of [[attr]]
+  return true;
+}
+
+void collect_lambdas(const std::vector<Token>& t, std::vector<Lambda>* out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!lambda_intro_at(t, i)) continue;
+    std::size_t cap_end = skip_balanced(t, i);  // past ']'
+    if (cap_end == npos) continue;
+    Lambda lam;
+    lam.intro = i;
+    // Parse the capture list.
+    for (std::size_t k = i + 1; k + 1 < cap_end; ++k) {
+      if (is_punct(t[k], "&")) {
+        // default '&' or '&name' -- both capture by reference.
+        lam.ref_capture = true;
+      } else if (is_punct(t[k], "=") && is_punct(t[k - 1], "[") &&
+                 (is_punct(t[k + 1], ",") || is_punct(t[k + 1], "]"))) {
+        lam.default_copy = true;
+      }
+    }
+    // Find the body '{': skip optional template-parameter list, parameter
+    // list, and specifiers / trailing return type.
+    std::size_t k = cap_end;
+    if (k < t.size() && is_punct(t[k], "<")) {
+      std::size_t past = skip_angles(t, k);
+      if (past != npos) k = past;
+    }
+    if (k < t.size() && is_punct(t[k], "(")) {
+      std::size_t past = skip_balanced(t, k);
+      if (past == npos) continue;
+      k = past;
+    }
+    bool found = false;
+    for (std::size_t guard = 0; k < t.size() && guard < 64; ++k, ++guard) {
+      if (is_punct(t[k], "{")) {
+        found = true;
+        break;
+      }
+      if (is_punct(t[k], "(")) {  // noexcept(...) etc.
+        std::size_t past = skip_balanced(t, k);
+        if (past == npos) break;
+        k = past - 1;
+        continue;
+      }
+      if (is_punct(t[k], ";") || is_punct(t[k], "}")) break;
+    }
+    if (!found) continue;  // not a lambda after all (e.g. a weird subscript)
+    lam.body_open = k;
+    lam.body_close = skip_balanced(t, k);
+    if (lam.body_close == npos) continue;
+    out->push_back(lam);
+  }
+}
+
+void check_coro_captures(const Ctx& c) {
+  std::vector<Lambda> lambdas;
+  collect_lambdas(c.t, &lambdas);
+  // Attribute each coroutine keyword to the innermost enclosing lambda.
+  for (std::size_t i = 0; i < c.t.size(); ++i) {
+    const Token& tk = c.t[i];
+    if (tk.kind != Tok::kIdent) continue;
+    if (tk.text != "co_await" && tk.text != "co_return" &&
+        tk.text != "co_yield") {
+      continue;
+    }
+    Lambda* innermost = nullptr;
+    for (Lambda& lam : lambdas) {
+      if (i > lam.body_open && i < lam.body_close &&
+          (!innermost ||
+           lam.body_close - lam.body_open <
+               innermost->body_close - innermost->body_open)) {
+        innermost = &lam;
+      }
+    }
+    if (innermost) innermost->has_coro_kw = true;
+  }
+  for (const Lambda& lam : lambdas) {
+    if (!lam.has_coro_kw) continue;
+    if (lam.ref_capture) {
+      c.diag(c.t[lam.intro].line, "coro-ref-capture",
+             "lambda coroutine captures by reference: captures live in the "
+             "closure object, not the coroutine frame; if the closure or a "
+             "captured local dies while the coroutine is suspended, "
+             "resumption reads freed memory");
+    } else if (lam.default_copy) {
+      c.diag(c.t[lam.intro].line, "coro-ref-capture",
+             "lambda coroutine with [=] captures `this` implicitly; name the "
+             "captures explicitly (the closure may outlive *this)");
+    }
+  }
+}
+
+void check_coro_temp_ref(const Ctx& c) {
+  const auto& t = c.t;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || !is_punct(t[i + 1], "(")) continue;
+    if (!c.table.ref_param_task_fns.count(std::string(t[i].text))) continue;
+    // Skip the declaration itself (`sim::Task<void> name(...)`: preceded by
+    // '>') and member-qualified declarations (`Task<void> Cls::name(`).
+    if (i > 0 && (is_punct(t[i - 1], ">") || is_punct(t[i - 1], ">>"))) {
+      continue;
+    }
+    if (i >= 2 && is_punct(t[i - 1], "::") && i >= 3 &&
+        is_punct(t[i - 3], ">")) {
+      continue;
+    }
+    // Directly co_awaited calls keep their temporaries alive for the whole
+    // await -- safe.
+    std::size_t before = i;
+    if (before >= 2 && is_punct(t[before - 1], "::")) before -= 2;
+    if (before >= 2 && (is_punct(t[before - 1], ".") ||
+                        is_punct(t[before - 1], "->"))) {
+      before -= 2;  // obj.method( -- look before the object expression
+    }
+    if (before > 0 && is_ident(t[before - 1], "co_await")) continue;
+    // Scan top-level arguments for an obvious temporary: a literal, or a
+    // braced construction `Name{...}`.
+    std::size_t close = skip_balanced(t, i + 1);
+    if (close == npos) continue;
+    int depth = 1;  // inside the call's parentheses
+    bool arg_begin = true;
+    for (std::size_t k = i + 2; k < close - 1; ++k) {
+      const Token& tk = t[k];
+      if (depth == 1 && is_punct(tk, ",")) {
+        arg_begin = true;
+        continue;
+      }
+      if (arg_begin && depth == 1) {
+        arg_begin = false;
+        // Examine the first token of this argument.
+        if (tk.kind == Tok::kNumber || tk.kind == Tok::kString) {
+          // Only a *sole* literal argument is unambiguous (part of a larger
+          // expression could be anything).
+          const bool sole = k + 1 >= close - 1 || is_punct(t[k + 1], ",");
+          if (sole) {
+            c.diag(t[i].line, "coro-temp-ref",
+                   "temporary bound to a reference parameter of sim::Task-"
+                   "returning '" + std::string(t[i].text) +
+                       "': the temporary dies at the end of the full "
+                       "expression, before the suspended coroutine resumes; "
+                       "pass a named object or co_await the call directly");
+            break;
+          }
+        } else if (tk.kind == Tok::kIdent && k + 1 < close - 1 &&
+                   is_punct(t[k + 1], "{")) {
+          c.diag(t[i].line, "coro-temp-ref",
+                 "temporary '" + std::string(tk.text) +
+                     "{...}' bound to a reference parameter of sim::Task-"
+                     "returning '" + std::string(t[i].text) +
+                     "': it dies at the end of the full expression, before "
+                     "the suspended coroutine resumes; pass a named object "
+                     "or co_await the call directly");
+          break;
+        }
+      }
+      if (tk.kind == Tok::kPunct) {
+        if (tk.text == "(" || tk.text == "[" || tk.text == "{") ++depth;
+        else if (tk.text == ")" || tk.text == "]" || tk.text == "}") --depth;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Family: hot
+// ---------------------------------------------------------------------------
+
+void check_hot(const Ctx& c) {
+  const auto& t = c.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    std::string_view name = t[i].text;
+    if (name == "function" && i >= 2 && is_punct(t[i - 1], "::") &&
+        is_ident(t[i - 2], "std")) {
+      c.diag(t[i].line, "hot-std-function",
+             "std::function on a hot path: type-erased targets beyond the "
+             "SBO threshold heap-allocate per construction; use a template "
+             "parameter, function pointer, or the pooled inline-callable "
+             "slots");
+      continue;
+    }
+    if (name == "new") {
+      if (i > 0 && is_ident(t[i - 1], "operator")) continue;
+      // Placement form `new (addr) T` / `::new (addr) T` is pool machinery,
+      // not an allocation.
+      if (i + 1 < t.size() && is_punct(t[i + 1], "(")) continue;
+      c.diag(t[i].line, "hot-naked-new",
+             "naked new on a hot path: allocate from a pool (BufferPool, "
+             "event slots, PoolAllocator) or use an owning container "
+             "constructed off the hot path");
+      continue;
+    }
+    if (name == "make_shared") {
+      c.diag(t[i].line, "hot-make-shared",
+             "make_shared on a hot path allocates and atomically "
+             "refcounts per call; prefer a pooled or stack-owned object");
+      continue;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Symbol collection (pass 1)
+// ---------------------------------------------------------------------------
+
+void collect_symbols(const LexResult& lexed, SymbolTable* table) {
+  const auto& t = lexed.tokens;
+  auto is_unordered_name = [](std::string_view s) {
+    return s == "unordered_map" || s == "unordered_set" ||
+           s == "unordered_multimap" || s == "unordered_multiset";
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+
+    // `using Alias = std::unordered_map<...>;`
+    if (t[i].text == "using" && i + 4 < t.size() &&
+        t[i + 1].kind == Tok::kIdent && is_punct(t[i + 2], "=")) {
+      std::size_t j = i + 3;
+      if (is_ident(t[j], "std") && is_punct(t[j + 1], "::")) j += 2;
+      if (j < t.size() && is_unordered_name(t[j].text)) {
+        table->unordered_aliases.insert(std::string(t[i + 1].text));
+      }
+      continue;
+    }
+
+    // `std::unordered_map<...> name` (declaration of a variable, member or
+    // function returning an unordered container).
+    if (is_unordered_name(t[i].text) && i + 1 < t.size() &&
+        is_punct(t[i + 1], "<")) {
+      std::size_t past = skip_angles(t, i + 1);
+      if (past != npos && past < t.size() && t[past].kind == Tok::kIdent) {
+        table->unordered_vars.insert(std::string(t[past].text));
+      }
+      continue;
+    }
+
+    // `Alias name` for a previously seen unordered alias.
+    if (table->unordered_aliases.count(std::string(t[i].text)) &&
+        i + 1 < t.size() && t[i + 1].kind == Tok::kIdent) {
+      table->unordered_vars.insert(std::string(t[i + 1].text));
+      continue;
+    }
+
+    // `sim::Task<...> name(params)` with a reference parameter.
+    if (t[i].text == "Task" && i + 1 < t.size() && is_punct(t[i + 1], "<")) {
+      std::size_t past = skip_angles(t, i + 1);
+      if (past == npos || past >= t.size()) continue;
+      std::size_t name_at = past;
+      // Allow `Task<...> Cls::name(`.
+      if (t[name_at].kind == Tok::kIdent && name_at + 1 < t.size() &&
+          is_punct(t[name_at + 1], "::")) {
+        name_at += 2;
+      }
+      if (name_at + 1 >= t.size() || t[name_at].kind != Tok::kIdent ||
+          !is_punct(t[name_at + 1], "(")) {
+        continue;
+      }
+      std::size_t close = skip_balanced(t, name_at + 1);
+      if (close == npos) continue;
+      bool ref_param = false;
+      int depth = 0;
+      for (std::size_t k = name_at + 1; k < close - 1; ++k) {
+        if (t[k].kind != Tok::kPunct) continue;
+        if (t[k].text == "(" || t[k].text == "<" || t[k].text == "[") ++depth;
+        else if (t[k].text == ")" || t[k].text == ">" || t[k].text == "]") --depth;
+        else if (t[k].text == "&" && depth == 1) ref_param = true;
+      }
+      if (ref_param) {
+        table->ref_param_task_fns.insert(std::string(t[name_at].text));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+void run_rules(const std::string& file, const LexResult& lexed,
+               const SymbolTable& table, unsigned families,
+               std::vector<Diagnostic>* out) {
+  Ctx c{file, lexed.tokens, lexed.suppressions, table, out};
+  if (families & kDet) check_det(c);
+  if (families & kCoro) {
+    check_coro_captures(c);
+    check_coro_temp_ref(c);
+  }
+  if (families & kHot) check_hot(c);
+}
+
+const std::vector<std::string>& all_rule_names() {
+  static const std::vector<std::string> kNames = {
+      "det-rand",        "det-wall-clock",     "det-thread",
+      "det-unordered-iter", "det-pointer-key",
+      "coro-ref-capture", "coro-temp-ref",
+      "hot-std-function", "hot-naked-new",     "hot-make-shared",
+  };
+  return kNames;
+}
+
+}  // namespace qrdtm::lint

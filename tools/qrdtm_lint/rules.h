@@ -1,0 +1,72 @@
+// Rule engine for qrdtm_lint.
+//
+// Three rule families (see DESIGN.md "Determinism & safety rules"):
+//
+//   det  -- determinism: protocol/simulation code must derive every observable
+//           from the seeded Rng streams and simulated time, never from the
+//           host environment.  Bans wall clocks, libc/std randomness, native
+//           threading primitives, pointer-keyed containers, and iteration
+//           over std::unordered_* containers (hash iteration order is not
+//           specified and may vary across libstdc++ versions / ASLR).
+//   coro -- coroutine lifetime: a lambda coroutine's captures live in the
+//           closure object, NOT in the coroutine frame; if the closure (or a
+//           by-reference captured local) dies while the coroutine is
+//           suspended, resumption reads freed memory.  Likewise a temporary
+//           bound to a reference parameter of a sim::Task<>-returning
+//           function dies at the end of the full expression, which a
+//           suspended coroutine outlives unless the call is directly
+//           co_awaited.
+//   hot  -- hot-path hygiene: the event kernel, RPC layer and transaction
+//           scopes are zero-allocation in steady state (PR 1); std::function
+//           construction, naked new and make_shared on those paths would
+//           silently reintroduce per-event allocations.
+//
+// Every diagnostic carries a rule name and is suppressible in source with
+// `// qrdtm-lint: allow(<rule>)` on the same or the preceding line.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace qrdtm::lint {
+
+enum Family : unsigned {
+  kDet = 1u << 0,
+  kCoro = 1u << 1,
+  kHot = 1u << 2,
+};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Cross-file context shared by all files in one directory group: names of
+/// variables/aliases with std::unordered_* types, and names of
+/// sim::Task<>-returning functions that take reference parameters.
+/// Grouping by directory keeps e.g. `writeset_` in src/baselines (a
+/// std::map) from colliding with `writeset_` in src/core (unordered).
+struct SymbolTable {
+  std::set<std::string> unordered_vars;
+  std::set<std::string> unordered_aliases;
+  std::set<std::string> ref_param_task_fns;
+};
+
+/// Pass 1: harvest symbols from one lexed file into `table`.
+void collect_symbols(const LexResult& lexed, SymbolTable* table);
+
+/// Pass 2: run the rule families selected by `families` (bitwise-or of
+/// Family) over one lexed file, appending unsuppressed diagnostics.
+void run_rules(const std::string& file, const LexResult& lexed,
+               const SymbolTable& table, unsigned families,
+               std::vector<Diagnostic>* out);
+
+/// All rule names, for --list-rules and directive validation.
+const std::vector<std::string>& all_rule_names();
+
+}  // namespace qrdtm::lint

@@ -4,7 +4,7 @@
 // line and prints the full metric breakdown; the quickest way to explore
 // the design space beyond the fixed paper figures.
 //
-//   $ qrdtm_run --app slist --mode closed --nodes 13 --clients 8 \
+//   $ qrdtm_run --app slist --mode closed --nodes 13 --clients 8
 //               --reads 0.2 --calls 3 --objects 128 --seconds 60 --seed 1
 #include <cstdio>
 #include <cstdlib>
