@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/serde.h"
+#include "core/history.h"
 #include "net/latency.h"
 
 namespace qrdtm::baselines {
@@ -238,7 +239,29 @@ ObjectId DecentCluster::seed_new_object(const Bytes& data) {
   for (net::NodeId n : replicas_of(id)) {
     nodes_[n]->seed(id, data);
   }
+  if (recorder_ != nullptr) recorder_->record_seed(id, 1, data);
   return id;
+}
+
+void DecentCluster::record_commit_history(const DecentTxn& txn,
+                                          Version install_ts) {
+  core::CommittedTxn rec;
+  rec.txn = txn.id_;
+  rec.node = txn.node_;
+  rec.commit_tick = sim_.now();
+  rec.snapshot = txn.snapshot_;
+  for (const auto& [id, entry] : txn.readset_) {
+    // A written object's read_for_write fetched the *newest* version (it may
+    // exceed the pinned snapshot); its base is recorded with the write, so
+    // listing it as a snapshot read would be a false positive.
+    if (txn.writeset_.count(id) != 0) continue;
+    rec.reads.push_back(core::HistoryRead{id, entry.version});
+  }
+  for (const auto& [id, entry] : txn.writeset_) {
+    rec.writes.push_back(
+        core::HistoryWrite{id, entry.base, install_ts, entry.data});
+  }
+  recorder_->record_commit(std::move(rec));
 }
 
 sim::Task<bool> DecentCluster::try_commit(DecentTxn& txn) {
@@ -247,6 +270,7 @@ sim::Task<bool> DecentCluster::try_commit(DecentTxn& txn) {
     // versions valid at that point stay valid forever (commit timestamps
     // are monotone) -- the snapshot is consistent with no communication.
     ++metrics_.local_commits;
+    if (recorder_ != nullptr) record_commit_history(txn, 0);
     co_return true;
   }
   auto* rpc = endpoints_[txn.node_].get();
@@ -317,29 +341,41 @@ sim::Task<bool> DecentCluster::try_commit(DecentTxn& txn) {
       rpc->notify(rep, kDecentApply, std::move(w).take());
     }
   }
+  if (recorder_ != nullptr) record_commit_history(txn, ts);
   co_return true;
 }
 
 sim::Task<void> DecentCluster::run_transaction(net::NodeId node,
                                                DecentBody body) {
+  co_await run_transaction_bounded(node, std::move(body), 0);
+}
+
+sim::Task<bool> DecentCluster::run_transaction_bounded(
+    net::NodeId node, DecentBody body, std::uint32_t max_attempts) {
   std::uint32_t attempt = 0;
   for (;;) {
     DecentTxn txn(*this, node, next_txn_id_++);
     bool aborted = false;
+    std::string reason = "vote failed";
     try {
       co_await body(txn);
       ++metrics_.commit_requests;
       if (co_await try_commit(txn)) {
         ++metrics_.commits;
-        co_return;
+        co_return true;
       }
       aborted = true;
-    } catch (const DecentAbort&) {
+    } catch (const DecentAbort& a) {
+      reason = a.reason;
       aborted = true;
     }
     QRDTM_CHECK(aborted);
     ++metrics_.root_aborts;
+    if (recorder_ != nullptr) {
+      recorder_->record_abort(sim_.now(), txn.node_, txn.id_, reason);
+    }
     ++attempt;
+    if (max_attempts != 0 && attempt >= max_attempts) co_return false;
     const std::uint32_t exp = std::min(attempt, 8u);
     const sim::Tick window =
         std::min(cfg_.backoff_cap, cfg_.backoff_base << exp);

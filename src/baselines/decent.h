@@ -33,6 +33,10 @@
 #include "net/rpc.h"
 #include "sim/task.h"
 
+namespace qrdtm::core {
+class HistoryRecorder;
+}
+
 namespace qrdtm::baselines {
 
 using core::Bytes;
@@ -115,10 +119,22 @@ class DecentCluster {
   using BodyFactory = std::function<DecentBody(Rng&)>;
   void spawn_loop_client(net::NodeId node, BodyFactory factory);
 
+  /// Run one transaction, giving up after `max_attempts` aborts (0 =
+  /// unlimited).  Returns true on commit.  Chaos runs need the bound: a
+  /// dropped vote response orphans a replica-side lock, making its object
+  /// permanently unwritable -- an unbounded retry loop would never drain.
+  sim::Task<bool> run_transaction_bounded(net::NodeId node, DecentBody body,
+                                          std::uint32_t max_attempts);
+
+  /// Record commits/aborts into `rec` (nullptr = off); attach before
+  /// seeding.
+  void set_history_recorder(core::HistoryRecorder* rec) { recorder_ = rec; }
+
   void run_for(sim::Tick duration);
   void run_to_completion();
 
   core::Metrics& metrics() { return metrics_; }
+  net::Network& network() { return *net_; }
   sim::Simulator& simulator() { return sim_; }
   sim::Tick duration() const { return sim_.now(); }
   std::uint32_t num_nodes() const { return cfg_.num_nodes; }
@@ -131,6 +147,7 @@ class DecentCluster {
 
   sim::Task<void> run_transaction(net::NodeId node, DecentBody body);
   sim::Task<bool> try_commit(DecentTxn& txn);
+  void record_commit_history(const DecentTxn& txn, Version install_ts);
 
   DecentConfig cfg_;
   sim::Simulator sim_;
@@ -138,6 +155,7 @@ class DecentCluster {
   std::vector<std::unique_ptr<net::RpcEndpoint>> endpoints_;
   std::vector<std::unique_ptr<DecentNode>> nodes_;
   core::Metrics metrics_;
+  core::HistoryRecorder* recorder_ = nullptr;
   Rng rng_;
   TxnId next_txn_id_ = 1;
   ObjectId next_object_id_ = 1;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/serde.h"
+#include "core/history.h"
 #include "net/latency.h"
 
 namespace qrdtm::baselines {
@@ -323,7 +324,26 @@ net::NodeId TfaCluster::home_of(ObjectId id) const {
 ObjectId TfaCluster::seed_new_object(const Bytes& data) {
   ObjectId id = next_object_id_++;
   nodes_[home_of(id)]->seed(id, data);
+  if (recorder_ != nullptr) recorder_->record_seed(id, 1, data);
   return id;
+}
+
+void TfaCluster::record_commit_history(const TfaTxn& txn, Version commit_ts) {
+  core::CommittedTxn rec;
+  rec.txn = txn.id_;
+  rec.node = txn.node_;
+  rec.commit_tick = sim_.now();
+  rec.snapshot = 0;  // TFA is checked at the serializable level
+  for (const auto& [id, entry] : txn.root_readset()) {
+    // Written objects' reads are covered by their write base.
+    if (txn.root_writeset().contains(id)) continue;
+    rec.reads.push_back(core::HistoryRead{id, entry.version});
+  }
+  for (const auto& [id, entry] : txn.root_writeset()) {
+    rec.writes.push_back(
+        core::HistoryWrite{id, entry.base, commit_ts, entry.data});
+  }
+  recorder_->record_commit(std::move(rec));
 }
 
 sim::Task<bool> TfaCluster::try_commit(TfaTxn& txn) {
@@ -335,6 +355,7 @@ sim::Task<bool> TfaCluster::try_commit(TfaTxn& txn) {
     // Read-only: every read was (re)validated at its forwarding points;
     // commit needs no communication.
     ++metrics_.local_commits;
+    if (recorder_ != nullptr) record_commit_history(txn, 0);
     co_return true;
   }
   auto* rpc = endpoints_[txn.node_].get();
@@ -411,28 +432,41 @@ sim::Task<bool> TfaCluster::try_commit(TfaTxn& txn) {
     rpc->notify(home_of(id), kTfaWriteback, std::move(w).take());
   }
   nodes_[txn.node_]->advance_clock(commit_ts);
+  if (recorder_ != nullptr) record_commit_history(txn, commit_ts);
   co_return true;
 }
 
 sim::Task<void> TfaCluster::run_transaction(net::NodeId node, TfaBody body) {
+  co_await run_transaction_bounded(node, std::move(body), 0);
+}
+
+sim::Task<bool> TfaCluster::run_transaction_bounded(net::NodeId node,
+                                                    TfaBody body,
+                                                    std::uint32_t max_attempts) {
   std::uint32_t attempt = 0;
   for (;;) {
     TfaTxn txn(*this, node, next_txn_id_++, nodes_[node]->clock());
     bool aborted = false;
+    std::string reason = "commit validation failed";
     try {
       co_await body(txn);
       ++metrics_.commit_requests;
       if (co_await try_commit(txn)) {
         ++metrics_.commits;
-        co_return;
+        co_return true;
       }
       aborted = true;
-    } catch (const TfaAbort&) {
+    } catch (const TfaAbort& a) {
+      reason = a.reason;
       aborted = true;
     }
     QRDTM_CHECK(aborted);
     ++metrics_.root_aborts;
+    if (recorder_ != nullptr) {
+      recorder_->record_abort(sim_.now(), txn.node_, txn.id_, reason);
+    }
     ++attempt;
+    if (max_attempts != 0 && attempt >= max_attempts) co_return false;
     const std::uint32_t exp = std::min(attempt, 8u);
     const sim::Tick window =
         std::min(cfg_.backoff_cap, cfg_.backoff_base << exp);

@@ -30,6 +30,10 @@
 #include "net/rpc.h"
 #include "sim/task.h"
 
+namespace qrdtm::core {
+class HistoryRecorder;
+}
+
 namespace qrdtm::baselines {
 
 using core::Bytes;
@@ -146,10 +150,22 @@ class TfaCluster {
   using BodyFactory = std::function<TfaBody(Rng&)>;
   void spawn_loop_client(net::NodeId node, BodyFactory factory);
 
+  /// Run one transaction, giving up after `max_attempts` aborts (0 =
+  /// unlimited).  Returns true on commit.  Chaos runs need the bound: a
+  /// dropped lock response orphans a home-node lock, making its object
+  /// permanently unwritable -- an unbounded retry loop would never drain.
+  sim::Task<bool> run_transaction_bounded(net::NodeId node, TfaBody body,
+                                          std::uint32_t max_attempts);
+
+  /// Record commits/aborts into `rec` (nullptr = off); attach before
+  /// seeding.
+  void set_history_recorder(core::HistoryRecorder* rec) { recorder_ = rec; }
+
   void run_for(sim::Tick duration);
   void run_to_completion();
 
   core::Metrics& metrics() { return metrics_; }
+  net::Network& network() { return *net_; }
   sim::Simulator& simulator() { return sim_; }
   sim::Tick duration() const { return sim_.now(); }
   std::uint32_t num_nodes() const { return cfg_.num_nodes; }
@@ -160,6 +176,7 @@ class TfaCluster {
 
   sim::Task<void> run_transaction(net::NodeId node, TfaBody body);
   sim::Task<bool> try_commit(TfaTxn& txn);
+  void record_commit_history(const TfaTxn& txn, Version commit_ts);
 
   TfaConfig cfg_;
   sim::Simulator sim_;
@@ -167,6 +184,7 @@ class TfaCluster {
   std::vector<std::unique_ptr<net::RpcEndpoint>> endpoints_;
   std::vector<std::unique_ptr<TfaNode>> nodes_;
   core::Metrics metrics_;
+  core::HistoryRecorder* recorder_ = nullptr;
   Rng rng_;
   TxnId next_txn_id_ = 1;
   ObjectId next_object_id_ = 1;

@@ -1,0 +1,171 @@
+#include "core/chaos.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/history.h"
+#include "quorum/quorum.h"
+
+namespace qrdtm::core {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n), sizeof buf - 1));
+}
+
+/// Draw `count` distinct elements from `pool` (order preserved by draw).
+std::vector<net::NodeId> draw_distinct(Rng& rng, std::vector<net::NodeId> pool,
+                                       std::uint32_t count) {
+  std::vector<net::NodeId> out;
+  while (out.size() < count && !pool.empty()) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(pool.size()));
+    out.push_back(pool[i]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(std::uint64_t seed,
+                                      std::uint32_t num_nodes,
+                                      const ChaosOptions& opts) {
+  FaultSchedule s;
+  s.kills_notify_provider = opts.kills_notify_provider;
+  Rng rng(seed);
+
+  // Kills: distinct victims, times in the middle [0.2h, 0.8h] of the horizon
+  // so killed nodes both served traffic before and stay dead after.
+  if (opts.max_kills > 0 && !opts.kill_candidates.empty()) {
+    const auto victims =
+        draw_distinct(rng, opts.kill_candidates, opts.max_kills);
+    const sim::Tick lo = opts.horizon / 5;
+    const sim::Tick span = opts.horizon - 2 * lo;
+    for (net::NodeId v : victims) {
+      s.kills.push_back(Kill{lo + rng.below(span > 0 ? span : 1), v});
+    }
+    std::sort(s.kills.begin(), s.kills.end(),
+              [](const Kill& a, const Kill& b) { return a.at < b.at; });
+  }
+
+  // Bursts: one per equal slice of the horizon, so they never overlap and
+  // the disarm event of one cannot cancel the next one's arm.
+  if (opts.drop_bursts > 0 && opts.drop_prob > 0.0) {
+    const sim::Tick slice = opts.horizon / opts.drop_bursts;
+    for (std::uint32_t b = 0; b < opts.drop_bursts; ++b) {
+      const sim::Tick len = std::min(opts.burst_len, slice / 2);
+      const sim::Tick room = slice > len ? slice - len : 1;
+      s.bursts.push_back(
+          Burst{b * slice + rng.below(room), len, opts.drop_prob});
+    }
+  }
+
+  // Spikes: at most one per node (slowdowns are absolute, not stacked).
+  if (opts.latency_spikes > 0) {
+    std::vector<net::NodeId> pool = opts.spike_candidates;
+    if (pool.empty()) {
+      for (net::NodeId n = 0; n < num_nodes; ++n) pool.push_back(n);
+    }
+    const auto victims = draw_distinct(rng, pool, opts.latency_spikes);
+    for (net::NodeId v : victims) {
+      const sim::Tick len = std::min(opts.spike_len, opts.horizon / 4);
+      const sim::Tick room =
+          opts.horizon > len ? opts.horizon - len : 1;
+      s.spikes.push_back(Spike{rng.below(room), len, v, opts.spike_extra});
+    }
+    std::sort(s.spikes.begin(), s.spikes.end(),
+              [](const Spike& a, const Spike& b) { return a.at < b.at; });
+  }
+  return s;
+}
+
+void FaultSchedule::arm(sim::Simulator& sim, net::Network& net,
+                        quorum::QuorumProvider* provider,
+                        HistoryRecorder* recorder) const {
+  const bool notify = kills_notify_provider;
+  for (const Kill& k : kills) {
+    sim.schedule_at(k.at, [&sim, &net, provider, recorder, k, notify] {
+      net.kill(k.node);
+      if (notify && provider != nullptr) provider->on_failure(k.node);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "kill node %u%s", k.node, notify ? "" : " (silent)");
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+  }
+  for (const Burst& b : bursts) {
+    sim.schedule_at(b.at, [&sim, &net, recorder, b] {
+      net.set_drop_probability(b.prob);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "drop burst start p=%.2f len=%.1f ms", b.prob,
+                static_cast<double>(b.len) * 1e-6);
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+    sim.schedule_at(b.at + b.len, [&sim, &net, recorder] {
+      net.set_drop_probability(0.0);
+      if (recorder != nullptr) {
+        recorder->record_fault(sim.now(), "drop burst end");
+      }
+    });
+  }
+  for (const Spike& sp : spikes) {
+    sim.schedule_at(sp.at, [&sim, &net, recorder, sp] {
+      net.set_node_slowdown(sp.node, sp.extra);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "latency spike node %u +%.1f ms len=%.1f ms", sp.node,
+                static_cast<double>(sp.extra) * 1e-6,
+                static_cast<double>(sp.len) * 1e-6);
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+    sim.schedule_at(sp.at + sp.len, [&sim, &net, recorder, sp] {
+      net.set_node_slowdown(sp.node, 0);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "latency spike end node %u", sp.node);
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+  }
+}
+
+void FaultSchedule::arm(Cluster& cluster, HistoryRecorder* recorder) const {
+  arm(cluster.simulator(), cluster.network(),
+      kills_notify_provider ? &cluster.quorums() : nullptr, recorder);
+}
+
+std::string FaultSchedule::describe() const {
+  std::string out;
+  for (const Kill& k : kills) {
+    appendf(out, "  kill  t=%8.1f ms node=%u%s\n",
+            static_cast<double>(k.at) * 1e-6, k.node,
+            kills_notify_provider ? "" : " (silent)");
+  }
+  for (const Burst& b : bursts) {
+    appendf(out, "  burst t=%8.1f ms len=%.1f ms p=%.2f\n",
+            static_cast<double>(b.at) * 1e-6,
+            static_cast<double>(b.len) * 1e-6, b.prob);
+  }
+  for (const Spike& s : spikes) {
+    appendf(out, "  spike t=%8.1f ms len=%.1f ms node=%u +%.1f ms\n",
+            static_cast<double>(s.at) * 1e-6,
+            static_cast<double>(s.len) * 1e-6, s.node,
+            static_cast<double>(s.extra) * 1e-6);
+  }
+  return out;
+}
+
+}  // namespace qrdtm::core

@@ -1,0 +1,105 @@
+// Randomized, fully-replayable fault schedules over the Network chaos hooks.
+//
+// A FaultSchedule is derived deterministically from (seed, options): the
+// same pair always yields the same fail-stop times, message-drop bursts and
+// latency spikes, so any fuzz failure replays exactly from its printed seed.
+// arm() translates the schedule into simulator events before the run starts:
+//
+//   * kills   -- fail-stop a node at its scheduled tick (paper §VI-D: the
+//                provider is notified so quorums reconfigure; pass
+//                kills_notify_provider=false to leave discovery to the
+//                timeout-based failure detector),
+//   * bursts  -- windows during which request/response messages are dropped
+//                with probability drop_prob (one-way notifies are exempt;
+//                see Network::set_drop_probability),
+//   * spikes  -- windows during which one node's links slow down by
+//                spike_extra each way (slow-but-alive: above the RPC timeout
+//                this is indistinguishable from a crash to its peers).
+//
+// Bursts never overlap (each lives in its own slice of the horizon) and at
+// most one spike targets a given node, so disarm events cannot clobber a
+// later arm event's state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace qrdtm::quorum {
+class QuorumProvider;
+}
+
+namespace qrdtm::core {
+
+class Cluster;
+class HistoryRecorder;
+
+struct ChaosOptions {
+  /// Window faults are placed in (schedule nothing past it).
+  sim::Tick horizon = sim::sec(10);
+
+  /// Fail-stops: victims drawn (without replacement) from kill_candidates.
+  /// Empty candidates = no kills.
+  std::uint32_t max_kills = 0;
+  std::vector<net::NodeId> kill_candidates;
+  bool kills_notify_provider = true;
+
+  std::uint32_t drop_bursts = 0;
+  double drop_prob = 0.15;
+  sim::Tick burst_len = sim::msec(400);
+
+  std::uint32_t latency_spikes = 0;
+  /// Nodes eligible for a spike.  Empty = all nodes.
+  std::vector<net::NodeId> spike_candidates;
+  sim::Tick spike_extra = sim::msec(700);
+  sim::Tick spike_len = sim::msec(600);
+};
+
+struct FaultSchedule {
+  struct Kill {
+    sim::Tick at = 0;
+    net::NodeId node = 0;
+  };
+  struct Burst {
+    sim::Tick at = 0;
+    sim::Tick len = 0;
+    double prob = 0.0;
+  };
+  struct Spike {
+    sim::Tick at = 0;
+    sim::Tick len = 0;
+    net::NodeId node = 0;
+    sim::Tick extra = 0;
+  };
+
+  std::vector<Kill> kills;
+  std::vector<Burst> bursts;
+  std::vector<Spike> spikes;
+  bool kills_notify_provider = true;
+
+  /// Derive a schedule from (seed, num_nodes, options).  Pure and
+  /// deterministic; the spike candidate pool defaults to all nodes.
+  static FaultSchedule generate(std::uint64_t seed, std::uint32_t num_nodes,
+                                const ChaosOptions& opts);
+
+  /// Schedule the fault events onto `sim`.  Call before running.  `provider`
+  /// (nullable) is notified of kills when kills_notify_provider is set;
+  /// `recorder` (nullable) gets a kFault event per transition.
+  void arm(sim::Simulator& sim, net::Network& net,
+           quorum::QuorumProvider* provider, HistoryRecorder* recorder) const;
+
+  /// Convenience overload for a QR Cluster (kills via Cluster::kill_node).
+  void arm(Cluster& cluster, HistoryRecorder* recorder) const;
+
+  bool empty() const {
+    return kills.empty() && bursts.empty() && spikes.empty();
+  }
+
+  /// One-line-per-event human-readable description.
+  std::string describe() const;
+};
+
+}  // namespace qrdtm::core

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/history.h"
 #include "net/latency.h"
 
 namespace qrdtm::core {
@@ -68,6 +69,16 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
         *endpoints_.back(), *quorums_, metrics_, cfg_.runtime,
         seeder.next()));
     runtimes_.back()->set_failure_detector(failure_detector_.get());
+    if (cfg_.test_skip_commit_validation) {
+      servers_.back()->set_validation_disabled_for_test(true);
+    }
+  }
+}
+
+void Cluster::set_history_recorder(HistoryRecorder* recorder) {
+  recorder_ = recorder;
+  for (auto& rt : runtimes_) {
+    rt->set_history_recorder(recorder);
   }
 }
 
@@ -75,6 +86,7 @@ void Cluster::seed_object(ObjectId id, const Bytes& data, Version version) {
   for (auto& server : servers_) {
     server->store().seed(id, data, version);
   }
+  if (recorder_ != nullptr) recorder_->record_seed(id, version, data);
 }
 
 ObjectId Cluster::seed_new_object(const Bytes& data) {

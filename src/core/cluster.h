@@ -65,6 +65,11 @@ struct ClusterConfig {
   /// detection (the paper's experiments assume failures are known; see
   /// kill_node).
   std::uint32_t failure_detection_threshold = 0;
+
+  /// Test-only: replicas vote commit without validating (see
+  /// QrServer::set_validation_disabled_for_test).  The fuzz harness uses it
+  /// to prove the history checker catches serializability violations.
+  bool test_skip_commit_validation = false;
 };
 
 class Cluster {
@@ -82,6 +87,11 @@ class Cluster {
 
   /// Allocate a fresh setup-time id and seed it everywhere.
   ObjectId seed_new_object(const Bytes& data);
+
+  /// Attach a history recorder to every runtime (and future seed_object
+  /// calls).  Attach before seeding so initial versions are captured;
+  /// nullptr detaches.
+  void set_history_recorder(HistoryRecorder* recorder);
 
   // ----- running work -----------------------------------------------------
 
@@ -145,6 +155,7 @@ class Cluster {
   std::vector<std::unique_ptr<LockManager>> lock_managers_;
   std::vector<std::unique_ptr<TxnRuntime>> runtimes_;
   std::unique_ptr<FailureDetector> failure_detector_;
+  HistoryRecorder* recorder_ = nullptr;
   ObjectId next_setup_id_ = 1;
 };
 

@@ -1,0 +1,412 @@
+#include "core/history.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <iterator>
+#include <queue>
+#include <utility>
+
+namespace qrdtm::core {
+
+namespace {
+
+constexpr std::size_t kInitTxn = ~std::size_t{0};  // seeds' virtual writer
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n), sizeof buf - 1));
+}
+
+std::string describe(const std::vector<CommittedTxn>& txns, std::size_t i) {
+  if (i == kInitTxn) return "<seed>";
+  std::string s;
+  const CommittedTxn& t = txns[i];
+  appendf(s, "txn #%zu (id 0x%llx, node %u, t=%.3f ms)", i,
+          static_cast<unsigned long long>(t.txn), t.node,
+          static_cast<double>(t.commit_tick) * 1e-6);
+  return s;
+}
+
+/// One installed version in an object's chain.
+struct ChainEntry {
+  std::size_t writer = kInitTxn;  // index into committed(), or kInitTxn
+  Version base = 0;
+  const Bytes* data = nullptr;
+};
+
+}  // namespace
+
+void HistoryRecorder::record_rollback(sim::Tick tick, net::NodeId node,
+                                      TxnId txn, ChkEpoch target) {
+  std::string detail;
+  appendf(detail, "partial rollback to epoch %llu",
+          static_cast<unsigned long long>(target));
+  events_.push_back(HistoryEvent{HistoryEvent::Kind::kRollback, tick, node,
+                                 txn, std::move(detail)});
+}
+
+std::string HistoryRecorder::dump() const {
+  std::string out;
+  for (const auto& [id, seed] : seeds_) {
+    appendf(out, "seed     o=%llu v=%llu bytes=%zu\n",
+            static_cast<unsigned long long>(id),
+            static_cast<unsigned long long>(seed.version), seed.data.size());
+  }
+  // Commits (already in commit-tick order) merged with the event stream.
+  std::size_t ci = 0, ei = 0;
+  auto emit_commit = [&] {
+    const CommittedTxn& t = committed_[ci];
+    appendf(out, "[%12.6f ms] commit  #%zu id=0x%llx node=%u",
+            static_cast<double>(t.commit_tick) * 1e-6, ci,
+            static_cast<unsigned long long>(t.txn), t.node);
+    if (t.snapshot != 0) {
+      appendf(out, " snap=%llu", static_cast<unsigned long long>(t.snapshot));
+    }
+    out += " reads{";
+    for (const HistoryRead& r : t.reads) {
+      appendf(out, " %llu@%llu", static_cast<unsigned long long>(r.id),
+              static_cast<unsigned long long>(r.version));
+    }
+    out += " } writes{";
+    for (const HistoryWrite& w : t.writes) {
+      appendf(out, " %llu:%llu->%llu", static_cast<unsigned long long>(w.id),
+              static_cast<unsigned long long>(w.base),
+              static_cast<unsigned long long>(w.installed));
+    }
+    out += " }\n";
+    ++ci;
+  };
+  auto emit_event = [&] {
+    const HistoryEvent& e = events_[ei];
+    const char* kind = e.kind == HistoryEvent::Kind::kAbort      ? "abort"
+                       : e.kind == HistoryEvent::Kind::kRollback ? "rollbk"
+                                                                 : "fault";
+    appendf(out, "[%12.6f ms] %-7s", static_cast<double>(e.tick) * 1e-6, kind);
+    if (e.kind != HistoryEvent::Kind::kFault) {
+      appendf(out, " id=0x%llx node=%u", static_cast<unsigned long long>(e.txn),
+              e.node);
+    }
+    appendf(out, " %s\n", e.detail.c_str());
+    ++ei;
+  };
+  while (ci < committed_.size() || ei < events_.size()) {
+    if (ei >= events_.size() ||
+        (ci < committed_.size() &&
+         committed_[ci].commit_tick <= events_[ei].tick)) {
+      emit_commit();
+    } else {
+      emit_event();
+    }
+  }
+  return out;
+}
+
+bool HistoryRecorder::dump_to_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+CheckResult check_history(const HistoryRecorder& history, CheckLevel level) {
+  CheckResult result;
+  const std::vector<CommittedTxn>& txns = history.committed();
+  result.committed = txns.size();
+
+  auto fail = [&](std::string report) {
+    result.ok = false;
+    result.report = std::move(report);
+    return result;
+  };
+  auto who = [&](std::size_t i) { return describe(txns, i); };
+
+  // ---- step 1: assemble per-object version chains -------------------------
+  std::map<ObjectId, std::map<Version, ChainEntry>> chains;
+  for (const auto& [id, seed] : history.seeds()) {
+    chains[id][seed.version] = ChainEntry{kInitTxn, 0, &seed.data};
+  }
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    for (const HistoryWrite& w : txns[i].writes) {
+      std::string r;
+      if (w.installed == 0) {
+        appendf(r, "VIOLATION (null install): %s installed version 0 of o=%llu",
+                who(i).c_str(), static_cast<unsigned long long>(w.id));
+        return fail(std::move(r));
+      }
+      auto& chain = chains[w.id];
+      if (auto it = chain.find(w.installed); it != chain.end()) {
+        appendf(r,
+                "VIOLATION (duplicate install): %s and %s both installed "
+                "o=%llu v=%llu -- two commits claimed the same version slot",
+                who(it->second.writer).c_str(), who(i).c_str(),
+                static_cast<unsigned long long>(w.id),
+                static_cast<unsigned long long>(w.installed));
+        return fail(std::move(r));
+      }
+      chain[w.installed] = ChainEntry{i, w.base, &w.data};
+    }
+  }
+  // First-committer-wins: every write's base must be the immediate chain
+  // predecessor of the version it installed.  A gap means the writer did not
+  // observe (and so did not validate against) the latest committed state --
+  // the classic lost update.
+  for (const auto& [obj, chain] : chains) {
+    Version prev = 0;
+    for (const auto& [ver, entry] : chain) {
+      if (entry.writer == kInitTxn) {
+        if (prev != 0) {
+          std::string r;
+          appendf(r,
+                  "VIOLATION (write below seed): o=%llu v=%llu was installed "
+                  "below the seed version %llu",
+                  static_cast<unsigned long long>(obj),
+                  static_cast<unsigned long long>(prev),
+                  static_cast<unsigned long long>(ver));
+          return fail(std::move(r));
+        }
+      } else if (entry.base != prev) {
+        std::string r;
+        appendf(r,
+                "VIOLATION (lost update): %s installed o=%llu v=%llu over "
+                "base %llu, but the chain predecessor is v=%llu",
+                who(entry.writer).c_str(),
+                static_cast<unsigned long long>(obj),
+                static_cast<unsigned long long>(ver),
+                static_cast<unsigned long long>(entry.base),
+                static_cast<unsigned long long>(prev));
+        if (prev != 0) {
+          const ChainEntry& p = chain.at(prev);
+          appendf(r, " (installed by %s)", who(p.writer).c_str());
+        }
+        return fail(std::move(r));
+      }
+      prev = ver;
+    }
+  }
+
+  // ---- step 2: every read saw a version that exists -----------------------
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    for (const HistoryRead& r : txns[i].reads) {
+      const auto cit = chains.find(r.id);
+      if (cit == chains.end() || cit->second.find(r.version) == cit->second.end()) {
+        std::string msg;
+        appendf(msg,
+                "VIOLATION (phantom read): %s read o=%llu v=%llu, a version "
+                "no seed or committed write ever installed",
+                who(i).c_str(), static_cast<unsigned long long>(r.id),
+                static_cast<unsigned long long>(r.version));
+        return fail(std::move(msg));
+      }
+      if (level == CheckLevel::kSnapshotReads && txns[i].snapshot != 0 &&
+          r.version > txns[i].snapshot) {
+        std::string msg;
+        appendf(msg,
+                "VIOLATION (read above snapshot): %s pinned snapshot %llu but "
+                "read o=%llu v=%llu",
+                who(i).c_str(),
+                static_cast<unsigned long long>(txns[i].snapshot),
+                static_cast<unsigned long long>(r.id),
+                static_cast<unsigned long long>(r.version));
+        return fail(std::move(msg));
+      }
+    }
+  }
+
+  if (level == CheckLevel::kSnapshotReads) return result;
+
+  // ---- step 3: multi-version serialization graph --------------------------
+  const std::size_t n = txns.size();
+  enum class EdgeType : std::uint8_t { kWr, kWw, kRw };
+  struct Edge {
+    std::size_t to;
+    EdgeType type;
+    ObjectId obj;
+    Version ver;  // the version the edge is anchored on
+  };
+  std::vector<std::vector<Edge>> adj(n);
+  std::vector<std::size_t> indeg(n, 0);
+  auto add_edge = [&](std::size_t from, std::size_t to, EdgeType t,
+                      ObjectId obj, Version ver) {
+    if (from == kInitTxn || to == kInitTxn || from == to) return;
+    adj[from].push_back(Edge{to, t, obj, ver});
+    ++indeg[to];
+  };
+
+  // Readers per (object, version).  A write's base is an implicit read: the
+  // writer observed `base` via read_for_write and its commit validated it.
+  std::map<std::pair<ObjectId, Version>, std::vector<std::size_t>> readers;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const HistoryRead& r : txns[i].reads) {
+      readers[{r.id, r.version}].push_back(i);
+    }
+    for (const HistoryWrite& w : txns[i].writes) {
+      if (w.base == 0) continue;  // create: nothing was observed
+      auto& v = readers[{w.id, w.base}];
+      if (v.empty() || v.back() != i) v.push_back(i);
+    }
+  }
+  static const std::vector<std::size_t> kNoReaders;
+  auto readers_of = [&](ObjectId obj, Version ver) -> const std::vector<std::size_t>& {
+    const auto it = readers.find({obj, ver});
+    return it == readers.end() ? kNoReaders : it->second;
+  };
+
+  for (const auto& [obj, chain] : chains) {
+    // wr: installer -> every reader of that version.
+    for (const auto& [ver, entry] : chain) {
+      for (std::size_t r : readers_of(obj, ver)) {
+        add_edge(entry.writer, r, EdgeType::kWr, obj, ver);
+      }
+    }
+    // ww / rw along consecutive chain versions.
+    auto it = chain.begin();
+    if (it == chain.end()) continue;
+    auto next = std::next(it);
+    for (; next != chain.end(); ++it, ++next) {
+      add_edge(it->second.writer, next->second.writer, EdgeType::kWw, obj,
+               it->first);
+      for (std::size_t r : readers_of(obj, it->first)) {
+        add_edge(r, next->second.writer, EdgeType::kRw, obj, it->first);
+      }
+    }
+  }
+
+  // ---- step 4: topological order (Kahn) + certifying replay ---------------
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  {
+    std::priority_queue<std::size_t, std::vector<std::size_t>,
+                        std::greater<std::size_t>>
+        ready;
+    std::vector<std::size_t> left = indeg;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (left[i] == 0) ready.push(i);
+    }
+    while (!ready.empty()) {
+      const std::size_t i = ready.top();
+      ready.pop();
+      order.push_back(i);
+      for (const Edge& e : adj[i]) {
+        if (--left[e.to] == 0) ready.push(e.to);
+      }
+    }
+    if (order.size() != n) {
+      // Cycle: extract one from the residual graph (nodes with left > 0).
+      std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 on stack, 2 done
+      std::vector<std::size_t> stack, cycle;
+      std::vector<std::size_t> edge_pos(n, 0);
+      for (std::size_t s = 0; s < n && cycle.empty(); ++s) {
+        if (left[s] == 0 || color[s] != 0) continue;
+        stack.push_back(s);
+        color[s] = 1;
+        while (!stack.empty() && cycle.empty()) {
+          const std::size_t u = stack.back();
+          bool advanced = false;
+          while (edge_pos[u] < adj[u].size()) {
+            const Edge& e = adj[u][edge_pos[u]++];
+            if (left[e.to] == 0) continue;  // already serialized: acyclic part
+            if (color[e.to] == 1) {
+              // Found a back edge: unwind the stack down to e.to.
+              auto at = std::find(stack.begin(), stack.end(), e.to);
+              cycle.assign(at, stack.end());
+              break;
+            }
+            if (color[e.to] == 0) {
+              color[e.to] = 1;
+              stack.push_back(e.to);
+              advanced = true;
+              break;
+            }
+          }
+          if (!cycle.empty()) break;
+          if (!advanced && !stack.empty() && stack.back() == u) {
+            color[u] = 2;
+            stack.pop_back();
+          }
+        }
+      }
+      std::string msg =
+          "VIOLATION (serialization cycle): no serial order explains these "
+          "committed transactions --\n";
+      for (std::size_t k = 0; k < cycle.size(); ++k) {
+        const std::size_t from = cycle[k];
+        const std::size_t to = cycle[(k + 1) % cycle.size()];
+        // Find one edge from -> to for the label.
+        const Edge* label = nullptr;
+        for (const Edge& e : adj[from]) {
+          if (e.to == to) {
+            label = &e;
+            break;
+          }
+        }
+        appendf(msg, "  %s", who(from).c_str());
+        if (label != nullptr) {
+          const char* t = label->type == EdgeType::kWr   ? "wr"
+                          : label->type == EdgeType::kWw ? "ww"
+                                                         : "rw";
+          appendf(msg, " --%s(o=%llu@v%llu)--> ", t,
+                  static_cast<unsigned long long>(label->obj),
+                  static_cast<unsigned long long>(label->ver));
+        } else {
+          msg += " --> ";
+        }
+        appendf(msg, "%s\n", who(to).c_str());
+      }
+      return fail(std::move(msg));
+    }
+  }
+
+  // Replay the topological order against a single sequential store.  Every
+  // recorded read must return exactly the current version -- this certifies
+  // the order found in step 4 IS a 1-copy serial execution.
+  std::map<ObjectId, std::pair<Version, const Bytes*>> ref;
+  for (const auto& [id, seed] : history.seeds()) {
+    ref[id] = {seed.version, &seed.data};
+  }
+  auto current_version = [&](ObjectId id) -> Version {
+    const auto it = ref.find(id);
+    return it == ref.end() ? 0 : it->second.first;
+  };
+  for (std::size_t i : order) {
+    for (const HistoryRead& r : txns[i].reads) {
+      if (current_version(r.id) != r.version) {
+        std::string msg;
+        appendf(msg,
+                "VIOLATION (replay mismatch): in the derived serial order, %s "
+                "reads o=%llu v=%llu but the reference store holds v=%llu",
+                who(i).c_str(), static_cast<unsigned long long>(r.id),
+                static_cast<unsigned long long>(r.version),
+                static_cast<unsigned long long>(current_version(r.id)));
+        return fail(std::move(msg));
+      }
+    }
+    for (const HistoryWrite& w : txns[i].writes) {
+      if (current_version(w.id) != w.base) {
+        std::string msg;
+        appendf(msg,
+                "VIOLATION (replay mismatch): in the derived serial order, %s "
+                "writes o=%llu over base %llu but the reference store holds "
+                "v=%llu",
+                who(i).c_str(), static_cast<unsigned long long>(w.id),
+                static_cast<unsigned long long>(w.base),
+                static_cast<unsigned long long>(current_version(w.id)));
+        return fail(std::move(msg));
+      }
+      ref[w.id] = {w.installed, &w.data};
+    }
+  }
+  for (const auto& [id, entry] : ref) {
+    result.final_state[id] =
+        HistoryRecorder::SeedEntry{entry.first, *entry.second};
+  }
+  return result;
+}
+
+}  // namespace qrdtm::core

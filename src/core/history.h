@@ -1,0 +1,153 @@
+// Recorded transaction histories and a 1-copy serializability checker.
+//
+// Every committed transaction's observable behaviour -- the (object, version)
+// pairs it read, the versions it installed, and the order it committed in --
+// is appended to a HistoryRecorder by the runtimes (QR family and both
+// baselines).  check_history() then decides, from the record alone, whether
+// the run is explainable as a serial execution against a single-copy store:
+//
+//   1. Version chains.  Seeds and committed writes are assembled into one
+//      totally-ordered chain per object.  Installing a version twice, or
+//      installing over a base that is not the chain predecessor (a lost
+//      update), is an immediate violation -- this is the first-committer-wins
+//      property quorum intersection (Q2) enforces.
+//   2. Read validity.  Every read version must exist in its object's chain
+//      (no phantom or torn versions ever escaped a replica).
+//   3. MVSG acyclicity.  A multi-version serialization graph is built over
+//      the committed transactions: wr (installer -> reader of the version),
+//      ww (installer -> installer of the successor version) and rw (reader of
+//      a version -> installer of its successor) edges.  The history is
+//      1-copy serializable iff this graph is acyclic [Bernstein-Goodman];
+//      a cycle is extracted and printed as the counterexample.  A committed
+//      scope that observed a mixed snapshot (object A before writer W,
+//      object B after W) shows up as the 2-cycle reader -> W -> reader.
+//   4. Certifying replay.  A topological order of the MVSG is replayed
+//      against a sequential reference store; every read must return exactly
+//      the version the transaction recorded.  This re-derives the 1-copy
+//      equivalent order explicitly (defence in depth over step 3) and yields
+//      the expected final store state.
+//
+// Two strictness levels: kSerializable runs all four steps and is the
+// contract for the QR family and TFA.  kSnapshotReads runs steps 1-2 only --
+// DecentSTM provides snapshot isolation, which permits write skew (an MVSG
+// cycle of rw edges) by design, but still forbids lost updates and phantom
+// versions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace qrdtm::core {
+
+struct HistoryRead {
+  ObjectId id = 0;
+  Version version = 0;
+};
+
+struct HistoryWrite {
+  ObjectId id = 0;
+  Version base = 0;       // version observed before writing (0 = created)
+  Version installed = 0;  // version the commit installed
+  Bytes data;
+};
+
+/// One committed transaction, as recorded at its commit point.
+struct CommittedTxn {
+  TxnId txn = 0;            // protocol-level id (printing only)
+  net::NodeId node = 0;     // committing client's node
+  sim::Tick commit_tick = 0;
+  Version snapshot = 0;     // SI snapshot pin (DecentSTM); 0 = not used
+  std::vector<HistoryRead> reads;    // sorted by object id
+  std::vector<HistoryWrite> writes;  // sorted by object id
+};
+
+/// Non-commit events kept for trace dumps (aborts, partial rollbacks,
+/// injected faults).  They carry no weight in the checker.
+struct HistoryEvent {
+  enum class Kind : std::uint8_t { kAbort, kRollback, kFault };
+  Kind kind = Kind::kAbort;
+  sim::Tick tick = 0;
+  net::NodeId node = 0;
+  TxnId txn = 0;
+  std::string detail;
+};
+
+/// Append-only record of one simulation's transactional behaviour.  One
+/// recorder serves a whole cluster (the DES is single-threaded); attach it
+/// before seeding so initial versions are captured.
+class HistoryRecorder {
+ public:
+  void record_seed(ObjectId id, Version version, const Bytes& data) {
+    // Every node seeds the same object; record it once.
+    if (seeds_.find(id) == seeds_.end()) seeds_.emplace(id, SeedEntry{version, data});
+  }
+
+  void record_commit(CommittedTxn txn) { committed_.push_back(std::move(txn)); }
+
+  void record_abort(sim::Tick tick, net::NodeId node, TxnId txn,
+                    std::string detail) {
+    events_.push_back(HistoryEvent{HistoryEvent::Kind::kAbort, tick, node, txn,
+                                   std::move(detail)});
+  }
+
+  void record_rollback(sim::Tick tick, net::NodeId node, TxnId txn,
+                       ChkEpoch target);
+
+  void record_fault(sim::Tick tick, std::string detail) {
+    events_.push_back(HistoryEvent{HistoryEvent::Kind::kFault, tick,
+                                   net::kNoNode, 0, std::move(detail)});
+  }
+
+  struct SeedEntry {
+    Version version = 0;
+    Bytes data;
+  };
+
+  const std::map<ObjectId, SeedEntry>& seeds() const { return seeds_; }
+  const std::vector<CommittedTxn>& committed() const { return committed_; }
+  const std::vector<HistoryEvent>& events() const { return events_; }
+
+  void clear() {
+    seeds_.clear();
+    committed_.clear();
+    events_.clear();
+  }
+
+  /// Human-readable trace: seeds, then commits and events.  This is the
+  /// counterexample artifact the fuzz driver writes next to a violation.
+  std::string dump() const;
+
+  /// Write dump() to `path`.  Returns false on I/O failure.
+  bool dump_to_file(const std::string& path) const;
+
+ private:
+  std::map<ObjectId, SeedEntry> seeds_;
+  std::vector<CommittedTxn> committed_;
+  std::vector<HistoryEvent> events_;
+};
+
+enum class CheckLevel : std::uint8_t {
+  kSerializable,   // chains + reads + MVSG acyclicity + certifying replay
+  kSnapshotReads,  // chains + reads only (SI baselines: write skew is legal)
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::string report;        // empty when ok; counterexample text otherwise
+  std::size_t committed = 0; // transactions checked
+  /// Reference-store contents after the certifying replay (kSerializable
+  /// only): the state any 1-copy execution of the history must end in.
+  std::map<ObjectId, HistoryRecorder::SeedEntry> final_state;
+};
+
+/// Check a recorded history.  Pure function of the record: deterministic,
+/// no simulator access.
+CheckResult check_history(const HistoryRecorder& history, CheckLevel level);
+
+}  // namespace qrdtm::core

@@ -120,22 +120,33 @@ ReadResponse QrServer::handle_read(const ReadRequest& req) {
 VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
   // Decide commit/abort from local object state (paper §II): every read-set
   // version must still be current here, and nothing in either set may be
-  // protected by a competing transaction.
-  for (const CommitReadEntry& e : req.readset) {
-    if (e.version < store_.version_of(e.id) ||
-        store_.protected_against(e.id, req.txn)) {
-      return VoteResponse{.commit = false};
+  // protected by a competing transaction.  The test-only bypass votes
+  // commit unconditionally -- the broken protocol the history checker must
+  // catch (stale reads and competing writers both slip through).
+  if (!skip_commit_validation_) {
+    for (const CommitReadEntry& e : req.readset) {
+      if (e.version < store_.version_of(e.id) ||
+          store_.protected_against(e.id, req.txn)) {
+        return VoteResponse{.commit = false};
+      }
     }
-  }
-  for (const CommitWriteEntry& e : req.writeset) {
-    if (e.base < store_.version_of(e.id) ||
-        store_.protected_against(e.id, req.txn)) {
-      return VoteResponse{.commit = false};
+    for (const CommitWriteEntry& e : req.writeset) {
+      if (e.base < store_.version_of(e.id) ||
+          store_.protected_against(e.id, req.txn)) {
+        return VoteResponse{.commit = false};
+      }
     }
   }
   // Commit vote: lock the write-set (paper: object field protected = true).
-  for (const CommitWriteEntry& e : req.writeset) {
-    store_.protect(e.id, req.txn);
+  // The test-only bypass skips the locks too: with validation off two
+  // competing writers may both reach this point, and stacking protections
+  // would (rightly) trip the store's single-protector invariant -- the
+  // broken protocol must fail by committing conflicting versions, not by
+  // crashing the replica.  unprotect() at confirm is a lenient no-op.
+  if (!skip_commit_validation_) {
+    for (const CommitWriteEntry& e : req.writeset) {
+      store_.protect(e.id, req.txn);
+    }
   }
   return VoteResponse{.commit = true};
 }

@@ -36,6 +36,14 @@ class QrServer {
   /// Number of Rqv validations this replica failed (test observability).
   std::uint64_t validation_failures() const { return validation_failures_; }
 
+  /// Test-only: make this replica vote commit without validating read-set
+  /// versions or write protection.  Exists solely to prove the history
+  /// checker detects real 1-copy serializability violations (the fuzz
+  /// harness's deliberately-broken mode); never set in production paths.
+  void set_validation_disabled_for_test(bool disabled) {
+    skip_commit_validation_ = disabled;
+  }
+
  private:
   ReadResponse handle_read(const ReadRequest& req);
   VoteResponse handle_commit_request(const CommitRequest& req);
@@ -49,6 +57,7 @@ class QrServer {
   net::NodeId id_;
   store::ReplicaStore store_;
   std::uint64_t validation_failures_ = 0;
+  bool skip_commit_validation_ = false;
 };
 
 }  // namespace qrdtm::core

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/history.h"
 
 namespace qrdtm::core {
 
@@ -157,6 +158,16 @@ sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
     throw AbortException{AbortTarget::kRoot, r.scope_id_, 0,
                          "read quorum unreachable"};
   }
+  if (ok_replies < futures.size()) {
+    // Strict gather: quorum intersection (Q1) only covers this fetch if
+    // EVERY read-quorum member answered -- the member whose reply was lost
+    // (dropped message, mid-fetch kill) may be exactly the one holding the
+    // newest version, and a partial snapshot could commit unvalidated under
+    // QR-CN's local read-only commit.  Abort and retry against the (possibly
+    // reconfigured) quorum.
+    throw AbortException{AbortTarget::kRoot, r.scope_id_, 0,
+                         "read quorum incomplete"};
+  }
   if (!have_best) {
     // No live replica holds the object: either a stale pointer chased by a
     // zombie flat transaction, or a data-structure bug.  Abort and retry.
@@ -235,12 +246,19 @@ sim::Task<Bytes> Txn::read_for_write(ObjectId id) {
     // version (and the QR-CHK fetch epoch) travel with the copy so commit
     // and rollback semantics are unchanged.
     OwnedCopy mine = *c;
+    const bool same_scope = mine.owner == scope_id_;
     mine.owner = scope_id_;
     mine.owner_depth = depth_;
     ++rt_.metrics().local_read_hits;
     Bytes data = mine.copy.data;
     log_op(op, data, store::kNullObject);
-    dataset_append(id, mine.copy.version, mine.owner_chk);
+    // A same-scope upgrade (read then read_for_write) already has its
+    // data-set entry with the same id/version/owner; re-appending would
+    // duplicate it.  Cross-scope upgrades append under the new owner (the
+    // duplicate that leaves after a CT merge is compacted there).
+    if (!same_scope) {
+      dataset_append(id, mine.copy.version, mine.owner_chk);
+    }
     writeset_[id] = std::move(mine);
     co_return data;
   }
@@ -321,6 +339,10 @@ sim::Task<void> Txn::nested(TxnBody body) {
     if (retry) {
       dataset_truncate(child.dataset_mark_);
       ++rt_.metrics().ct_aborts;
+      if (HistoryRecorder* rec = rt_.history_recorder()) {
+        rec->record_abort(rt_.simulator().now(), rt_.node(), child.scope_id_,
+                          "ct retry (abortClosed)");
+      }
       const sim::Tick base = rt_.config().ct_retry_backoff;
       if (base > 0) {
         co_await rt_.simulator().delay(base / 2 + rt_.rng().below(base));
@@ -382,6 +404,28 @@ void Txn::merge_into_parent() {
   for (std::size_t i = dataset_mark_; i < cache.size(); ++i) {
     cache[i].owner = parent_->scope_id_;
     cache[i].owner_depth = parent_->depth_;
+  }
+  // Compact duplicates: a CT upgrade of an object already in an ancestor's
+  // set appended a second entry for the same id, now identical in role to
+  // the ancestor's.  Keep the ancestor's (shallower) entry -- when the
+  // object is invalid, every scope holding it is doomed and abortClosed
+  // must name the shallowest one.
+  if (dataset_mark_ > 0) {
+    std::size_t out = dataset_mark_;
+    for (std::size_t i = dataset_mark_; i < cache.size(); ++i) {
+      bool dup = false;
+      for (std::size_t j = 0; j < dataset_mark_; ++j) {
+        if (cache[j].id == cache[i].id) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        if (out != i) cache[out] = std::move(cache[i]);
+        ++out;
+      }
+    }
+    cache.resize(out);
   }
 }
 
@@ -490,6 +534,7 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
       aborted = true;
     }
     if (committed) {
+      if (recorder_ != nullptr) record_commit_history(root);
       co_await finish_open(root, /*committed=*/true);
       if (count_commit) ++metrics_.commits;
       co_return true;
@@ -503,6 +548,10 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
         // Partial rollback: restore the checkpoint and resume (replay).
         // Restoring the saved continuation + transaction copy costs time.
         ++metrics_.partial_rollbacks;
+        if (recorder_ != nullptr) {
+          recorder_->record_rollback(simulator().now(), node(),
+                                     root.scope_id_, target);
+        }
         root.rollback_to(target);
         if (config_.chk_restore_cost > 0) {
           co_await rpc_.simulator().delay(config_.chk_restore_cost);
@@ -513,6 +562,10 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
     }
 
     ++metrics_.root_aborts;
+    if (recorder_ != nullptr) {
+      recorder_->record_abort(simulator().now(), node(), root.scope_id_,
+                              abort.reason);
+    }
     // QR-ON: undo globally-committed open-nested work before retrying.
     co_await finish_open(root, /*committed=*/false);
     root.reset_full();
@@ -520,6 +573,32 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
     if (max_attempts != 0 && attempt >= max_attempts) co_return false;
     co_await backoff(attempt);
   }
+}
+
+void TxnRuntime::record_commit_history(const Txn& root) {
+  CommittedTxn rec;
+  rec.txn = root.scope_id_;
+  rec.node = node();
+  rec.commit_tick = simulator().now();
+  rec.reads.reserve(root.readset_.size());
+  // Collect-then-sort: the recorded order is by object id regardless of the
+  // sets' hash order.  qrdtm-lint: allow(det-unordered-iter)
+  for (const auto& [id, oc] : root.readset_) {
+    rec.reads.push_back(HistoryRead{id, oc.copy.version});
+  }
+  rec.writes.reserve(root.writeset_.size());
+  // Sorted below as well.  qrdtm-lint: allow(det-unordered-iter)
+  for (const auto& [id, oc] : root.writeset_) {
+    // QR installs base+1 (see QrServer::handle_commit_confirm).
+    rec.writes.push_back(
+        HistoryWrite{id, oc.copy.version, oc.copy.version + 1, oc.copy.data});
+  }
+  std::sort(rec.reads.begin(), rec.reads.end(),
+            [](const HistoryRead& a, const HistoryRead& b) { return a.id < b.id; });
+  std::sort(
+      rec.writes.begin(), rec.writes.end(),
+      [](const HistoryWrite& a, const HistoryWrite& b) { return a.id < b.id; });
+  recorder_->record_commit(std::move(rec));
 }
 
 sim::Task<void> TxnRuntime::acquire_abstract_lock(Txn& root,

@@ -42,6 +42,8 @@
 
 namespace qrdtm::core {
 
+class HistoryRecorder;
+
 struct RuntimeConfig {
   NestingMode mode = NestingMode::kFlat;
   sim::Tick rpc_timeout = sim::msec(500);
@@ -183,6 +185,12 @@ class Txn {
   ChkEpoch current_epoch() const { return epoch_; }
   std::uint64_t checkpoints_taken() const { return checkpoints_.size(); }
 
+  /// The root's materialised Rqv data-set (what remote reads ship), exposed
+  /// for tests asserting its shape (e.g. entry uniqueness after CT merges).
+  const std::vector<DataSetEntry>& dataset_entries() const {
+    return root().dataset_cache_;
+  }
+
  private:
   friend class TxnRuntime;
 
@@ -279,11 +287,13 @@ class Txn {
   /// Materialised Rqv data-set: one entry per set insertion anywhere in the
   /// scope tree, appended on fetch/create, owner-patched on CT merge, and
   /// truncated on scope abort / checkpoint rollback.  Entry order differs
-  /// from a root->self set walk (it is chronological) and a CT upgrade of an
-  /// object already in an ancestor write-set leaves a duplicate identical
-  /// entry after the merge overwrites the ancestor's copy -- both are
-  /// harmless: replica validation is per-entry and order-independent
-  /// (qr_server combines via shallowest-depth / min-epoch).
+  /// from a root->self set walk (it is chronological); that is harmless,
+  /// replica validation is per-entry and order-independent (qr_server
+  /// combines via shallowest-depth / min-epoch).  Object ids are unique:
+  /// same-scope upgrades skip the re-append and merge_into_parent compacts
+  /// the duplicate a CT upgrade of an ancestor's object would otherwise
+  /// leave (keeping the ancestor's entry -- the shallowest owner is the
+  /// scope abortClosed must name).
   std::vector<DataSetEntry> dataset_cache_;
   /// QR-ON: compensations for globally-committed open-nested bodies (run in
   /// reverse order if this root aborts) and the abstract locks held.
@@ -320,6 +330,11 @@ class TxnRuntime {
   /// Attach a timeout-based failure detector; every quorum RPC outcome is
   /// reported to it (nullptr = detection off).
   void set_failure_detector(FailureDetector* fd) { failure_detector_ = fd; }
+
+  /// Attach a history recorder capturing every root commit's read/write
+  /// versions plus abort and rollback events (nullptr = recording off).
+  void set_history_recorder(HistoryRecorder* rec) { recorder_ = rec; }
+  HistoryRecorder* history_recorder() { return recorder_; }
 
   const RuntimeConfig& config() const { return config_; }
   net::NodeId node() const { return rpc_.id(); }
@@ -364,6 +379,9 @@ class TxnRuntime {
 
   sim::Task<void> backoff(std::uint32_t attempt);
 
+  /// Append the committed root's observable behaviour to the recorder.
+  void record_commit_history(const Txn& root);
+
   /// Memoised quorums: providers derive them deterministically from the
   /// live set, so recompute only when the provider's generation() moves
   /// (fail-stop).  The reference stays valid until the next call; commit
@@ -375,6 +393,7 @@ class TxnRuntime {
   quorum::QuorumProvider& quorums_;
   Metrics& metrics_;
   FailureDetector* failure_detector_ = nullptr;
+  HistoryRecorder* recorder_ = nullptr;
   RuntimeConfig config_;
   Rng rng_;
   TxnId next_scope_id_;

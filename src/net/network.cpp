@@ -23,7 +23,18 @@ void Network::send(Message&& m) {
     return;
   }
 
-  const sim::Tick arrival = sim_.now() + latency_->one_way(m.src, m.dst, rng_);
+  // Chaos drop: only request/response traffic (rpc_id != 0); see the
+  // set_drop_probability comment for why one-way notifies are exempt.  The
+  // RNG draw is gated on the probability so chaos-free runs consume the
+  // same random stream as before the hook existed.
+  if (drop_prob_ > 0.0 && m.rpc_id != 0 && rng_.chance(drop_prob_)) {
+    ++stats_.dropped_chaos;
+    pool_.release(std::move(m.payload));
+    return;
+  }
+
+  const sim::Tick arrival = sim_.now() + latency_->one_way(m.src, m.dst, rng_) +
+                            node_slowdown(m.src) + node_slowdown(m.dst);
 
   // Reserve the destination's service slot now so FIFO order is decided at
   // send time per arrival; the slot start accounts for queueing behind

@@ -46,6 +46,7 @@ struct NetStats {
   std::uint64_t sent_total = 0;
   std::uint64_t delivered_total = 0;
   std::uint64_t dropped_dead = 0;
+  std::uint64_t dropped_chaos = 0;
 
   std::uint64_t sent_by_kind(MsgKind k) const { return sent_by_kind_[k]; }
 
@@ -113,6 +114,32 @@ class Network {
   /// JGroups sends are asynchronous; senders wait on replies, not sends).
   void send(Message&& m);
 
+  /// Chaos hook: drop each request/response message (rpc_id != 0) with
+  /// probability p.  One-way notifies (rpc_id == 0: commit confirms, lock
+  /// releases, baseline writebacks/applies) model JGroups reliable delivery
+  /// and are exempt -- callers have no timeout path to recover a lost
+  /// notify, whereas dropped RPC traffic is recovered exactly like a dead
+  /// member (timeout + retry/abort).  The drop RNG is only consulted while
+  /// a probability is set, so chaos-free runs stay bit-identical.
+  void set_drop_probability(double p) {
+    QRDTM_CHECK_MSG(p >= 0.0 && p < 1.0, "drop probability out of range");
+    drop_prob_ = p;
+  }
+  double drop_probability() const { return drop_prob_; }
+
+  /// Chaos hook: add `extra` one-way latency to every message sent or
+  /// received by node n (a slow-but-alive node; 0 restores normal speed).
+  /// Slowdowns above the RPC timeout make a live node look dead to its
+  /// peers without losing its state -- the false-suspicion scenario.
+  void set_node_slowdown(NodeId n, sim::Tick extra) {
+    QRDTM_CHECK(n < nodes_.size());
+    if (slowdown_.size() < nodes_.size()) slowdown_.resize(nodes_.size(), 0);
+    slowdown_[n] = extra;
+  }
+  sim::Tick node_slowdown(NodeId n) const {
+    return n < slowdown_.size() ? slowdown_[n] : 0;
+  }
+
   const NetStats& stats() const { return stats_; }
 
   /// Service time charged per handled message at the destination replica.
@@ -139,6 +166,8 @@ class Network {
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   sim::Tick service_time_;
+  double drop_prob_ = 0.0;
+  std::vector<sim::Tick> slowdown_;  // lazily sized; empty = no slow nodes
   std::vector<NodeState> nodes_;
   NetStats stats_;
   BufferPool pool_;

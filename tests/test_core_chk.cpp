@@ -133,6 +133,83 @@ TEST(QrChk, RollbackTargetsMinimumInvalidEpoch) {
   EXPECT_EQ(epoch_after_rollback, 1u);
 }
 
+void bump_on(Cluster& c, sim::Tick at, net::NodeId node, ObjectId obj,
+             std::int64_t value) {
+  c.simulator().schedule_at(at, [&c, node, obj, value] {
+    Version v = c.server(node).store().version_of(obj);
+    c.server(node).store().apply(obj, v + 1, enc_i64(value));
+  });
+}
+
+TEST(QrChk, MixedQuorumRepliesCombineToMinimumEpoch) {
+  // Unlike RollbackTargetsMinimumInvalidEpoch, here no single replica sees
+  // both stale objects: one read-quorum member answers abortChk=1 (b) and
+  // another abortChk=2 (x).  The client-side combine across the strict
+  // quorum gather must still roll back to min = 1.
+  Cluster c(chk_cfg(/*threshold=*/1));
+  ObjectId a = c.seed_new_object(enc_i64(1));
+  ObjectId b = c.seed_new_object(enc_i64(2));
+  ObjectId x = c.seed_new_object(enc_i64(3));
+  ObjectId d = c.seed_new_object(enc_i64(4));
+
+  const std::vector<net::NodeId> rq = c.quorums().read_quorum(1);
+  ASSERT_GE(rq.size(), 2u) << "test needs a multi-member read quorum";
+
+  ChkEpoch epoch_after_rollback = 99;
+  int runs = 0;
+  c.spawn_client(1, [&](Txn& t) -> sim::Task<void> {
+    ++runs;
+    if (runs == 2) epoch_after_rollback = t.current_epoch();
+    (void)co_await t.read(a);
+    (void)co_await t.read(b);
+    (void)co_await t.read(x);
+    co_await t.compute(sim::msec(300));
+    (void)co_await t.read(d);
+  });
+  bump_on(c, sim::msec(150), rq[0], b, 20);
+  bump_on(c, sim::msec(150), rq[1], x, 30);
+  c.run_to_completion();
+
+  EXPECT_EQ(c.metrics().commits, 1u);
+  EXPECT_EQ(c.metrics().partial_rollbacks, 1u);
+  EXPECT_EQ(c.metrics().root_aborts, 0u);
+  EXPECT_EQ(epoch_after_rollback, 1u);
+}
+
+TEST(QrChk, MixedRepliesIncludingEpochZeroForceFullRestart) {
+  // One quorum member reports a conflict on an epoch-0 object while another
+  // reports a later epoch.  min(0, 1) = 0: rolling back to the start is a
+  // full abort, not a partial rollback -- and the retry must still commit.
+  Cluster c(chk_cfg(/*threshold=*/3));
+  ObjectId a = c.seed_new_object(enc_i64(1));
+  ObjectId b = c.seed_new_object(enc_i64(2));
+  ObjectId x = c.seed_new_object(enc_i64(3));
+  ObjectId d = c.seed_new_object(enc_i64(4));
+  ObjectId e = c.seed_new_object(enc_i64(5));
+
+  const std::vector<net::NodeId> rq = c.quorums().read_quorum(1);
+  ASSERT_GE(rq.size(), 2u) << "test needs a multi-member read quorum";
+
+  int runs = 0;
+  c.spawn_client(1, [&](Txn& t) -> sim::Task<void> {
+    ++runs;
+    (void)co_await t.read(a);  // epoch 0
+    (void)co_await t.read(b);  // epoch 0
+    (void)co_await t.read(x);  // epoch 0; checkpoint after (threshold 3)
+    (void)co_await t.read(d);  // epoch 1
+    co_await t.compute(sim::msec(300));
+    (void)co_await t.read(e);
+  });
+  bump_on(c, sim::msec(150), rq[0], a, 9);   // ownerChk = 0
+  bump_on(c, sim::msec(150), rq[1], d, 40);  // ownerChk = 1
+  c.run_to_completion();
+
+  EXPECT_EQ(c.metrics().commits, 1u);
+  EXPECT_EQ(c.metrics().partial_rollbacks, 0u);
+  EXPECT_EQ(c.metrics().root_aborts, 1u);
+  EXPECT_EQ(runs, 2) << "full restart re-executes the body from the top";
+}
+
 TEST(QrChk, ReplayFastForwardSkipsComputeAndLocalReads) {
   // A large compute before the checkpoint must be charged once: replay
   // fast-forwards ops below the checkpoint cursor.

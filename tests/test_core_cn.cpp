@@ -7,6 +7,8 @@
 // quorum deterministically.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/serde.h"
 #include "core/cluster.h"
 
@@ -332,6 +334,49 @@ TEST(QrCn, ConcurrentNestedIncrementsSerialise) {
   });
   c.run_to_completion();
   EXPECT_EQ(final_v, kClients);
+}
+
+// DESIGN §8: when a CT upgrades (read_for_write) an object its ancestor
+// already holds, the merge must not leave two data-set entries for the same
+// object -- duplicate entries inflate every later Rqv message and make the
+// replica validate the same object twice.
+TEST(QrCn, CtUpgradeOfAncestorObjectLeavesUniqueDatasetEntries) {
+  Cluster c(cn_cfg());
+  ObjectId a = c.seed_new_object(enc_i64(1));
+  ObjectId b = c.seed_new_object(enc_i64(2));
+
+  std::vector<ObjectId> dataset_ids;
+  c.spawn_client(1, [&, a, b](Txn& t) -> sim::Task<void> {
+    // Root acquires `a` for writing; the grandchild CT re-reads it (served
+    // from the ancestor write-set) and upgrades it again, then merges up
+    // through two levels.
+    (void)co_await t.read_for_write(a);
+    co_await t.nested([&, a, b](Txn& mid) -> sim::Task<void> {
+      (void)co_await mid.read(b);
+      co_await mid.nested([&, a](Txn& ct) -> sim::Task<void> {
+        std::int64_t v = dec_i64(co_await ct.read_for_write(a));
+        ct.write(a, enc_i64(v + 10));
+      });
+    });
+    for (const DataSetEntry& e : t.dataset_entries()) {
+      dataset_ids.push_back(e.id);
+    }
+  });
+  c.run_to_completion();
+
+  ASSERT_EQ(c.metrics().commits, 1u);
+  std::set<ObjectId> unique(dataset_ids.begin(), dataset_ids.end());
+  EXPECT_EQ(unique.size(), dataset_ids.size())
+      << "merged data-set must hold each object at most once";
+  EXPECT_EQ(unique.count(a), 1u);
+  EXPECT_EQ(unique.count(b), 1u);
+
+  std::int64_t final_a = 0;
+  c.spawn_client(5, [&, a](Txn& t) -> sim::Task<void> {
+    final_a = dec_i64(co_await t.read(a));
+  });
+  c.run_to_completion();
+  EXPECT_EQ(final_a, 11);
 }
 
 }  // namespace
