@@ -56,7 +56,20 @@ std::vector<BankOp> draw_plan(Rng& rng, double read_ratio) {
   return plan;
 }
 
-double run_qr(std::uint32_t nodes, double ratio, std::uint64_t seed) {
+/// Throughput plus commit-latency percentiles (ms) for one system point.
+struct SystemPoint {
+  double tput = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+SystemPoint from_latency(double tput, const core::LatencyMetrics& lat) {
+  return SystemPoint{
+      tput, sim::to_seconds(lat.commit_latency.percentile(50)) * 1e3,
+      sim::to_seconds(lat.commit_latency.percentile(99)) * 1e3};
+}
+
+SystemPoint run_qr(std::uint32_t nodes, double ratio, std::uint64_t seed) {
   ExperimentConfig cfg;
   cfg.app = "bank";
   cfg.mode = core::NestingMode::kFlat;  // plain QR, as compared in the paper
@@ -69,10 +82,10 @@ double run_qr(std::uint32_t nodes, double ratio, std::uint64_t seed) {
   cfg.seed = seed;
   auto res = run_experiment(cfg);
   warn_if_corrupt(res, "qr bank");
-  return res.throughput;
+  return from_latency(res.throughput, res.latency);
 }
 
-double run_tfa(std::uint32_t nodes, double ratio, std::uint64_t seed) {
+SystemPoint run_tfa(std::uint32_t nodes, double ratio, std::uint64_t seed) {
   baselines::TfaConfig cfg;
   cfg.num_nodes = nodes;
   cfg.seed = seed;
@@ -101,10 +114,10 @@ double run_tfa(std::uint32_t nodes, double ratio, std::uint64_t seed) {
     });
   }
   c.run_for(point_duration());
-  return c.metrics().throughput(c.duration());
+  return from_latency(c.metrics().throughput(c.duration()), c.latency());
 }
 
-double run_decent(std::uint32_t nodes, double ratio, std::uint64_t seed) {
+SystemPoint run_decent(std::uint32_t nodes, double ratio, std::uint64_t seed) {
   baselines::DecentConfig cfg;
   cfg.num_nodes = nodes;
   cfg.seed = seed;
@@ -140,17 +153,23 @@ double run_decent(std::uint32_t nodes, double ratio, std::uint64_t seed) {
                 (unsigned long)m.vote_aborts, (unsigned long)m.validation_failures,
                 (unsigned long)m.read_messages, (unsigned long)m.commit_messages);
   }
-  return c.metrics().throughput(c.duration());
+  return from_latency(c.metrics().throughput(c.duration()), c.latency());
 }
 
 void panel(const char* title, double ratio) {
-  print_header(title, "nodes   QR-DTM    HyFlow(TFA)  Decent-STM");
+  print_header(title,
+               "nodes   QR-DTM  p50(ms)  p99(ms)  HyFlow(TFA)  p50(ms)"
+               "  p99(ms)  Decent-STM  p50(ms)  p99(ms)");
   for (std::uint32_t nodes : {4u, 8u, 13u, 20u, 28u, 40u}) {
-    double qr = run_qr(nodes, ratio, 46);
-    double tfa = run_tfa(nodes, ratio, 46);
-    double dec = run_decent(nodes, ratio, 46);
-    std::printf("%5u %s %s %s\n", nodes, fmt(qr).c_str(),
-                fmt(tfa, 12).c_str(), fmt(dec, 11).c_str());
+    SystemPoint qr = run_qr(nodes, ratio, 46);
+    SystemPoint tfa = run_tfa(nodes, ratio, 46);
+    SystemPoint dec = run_decent(nodes, ratio, 46);
+    std::printf("%5u %s %s %s %s %s %s %s %s %s\n", nodes,
+                fmt(qr.tput).c_str(), fmt(qr.p50_ms, 8).c_str(),
+                fmt(qr.p99_ms, 8).c_str(), fmt(tfa.tput, 12).c_str(),
+                fmt(tfa.p50_ms, 8).c_str(), fmt(tfa.p99_ms, 8).c_str(),
+                fmt(dec.tput, 11).c_str(), fmt(dec.p50_ms, 8).c_str(),
+                fmt(dec.p99_ms, 8).c_str());
   }
 }
 

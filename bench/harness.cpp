@@ -1,6 +1,7 @@
 #include "bench/harness.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <thread>
@@ -25,6 +26,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.service_time != 0) cc.service_time = cfg.service_time;
 
   core::Cluster cluster(cc);
+  if (cfg.trace != nullptr) cluster.set_trace_recorder(cfg.trace);
 
   // Fig. 10: fail-stop nodes before the workload starts; clients run on
   // survivors only.
@@ -68,6 +70,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.read_messages = cluster.metrics().read_messages;
   res.commit_messages = cluster.metrics().commit_messages;
   res.throughput = cluster.metrics().throughput(cluster.duration());
+  res.latency = cluster.merged_latency();
+  if (cfg.collect_per_node_latency) {
+    res.node_latency.reserve(cfg.num_nodes);
+    for (net::NodeId n = 0; n < cfg.num_nodes; ++n) {
+      res.node_latency.push_back(cluster.node_latency(n));
+    }
+  }
 
   // Quiesce and verify the structure's integrity invariants: a protocol
   // bug that corrupts a data structure must fail the benchmark loudly.
@@ -137,7 +146,13 @@ void print_header(const std::string& title, const std::string& columns) {
 
 std::string fmt(double v, int width, int precision) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+  if (std::isnan(v)) {
+    // Undefined ratios (e.g. abort rate or pct_change with a zero
+    // denominator) print as "n/a", never as a misleading number.
+    std::snprintf(buf, sizeof(buf), "%*s", width, "n/a");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+  }
   return buf;
 }
 

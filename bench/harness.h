@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,16 @@ struct ExperimentConfig {
   /// Network overrides (0 = ClusterConfig defaults).
   sim::Tick link_latency = 0;
   sim::Tick service_time = 0;
+
+  /// Optional qrdtm-trace recorder attached to the cluster for this point
+  /// (nullptr = tracing off, the default).  Sweeps that trace must run one
+  /// point per recorder.
+  core::TraceRecorder* trace = nullptr;
+
+  /// Also capture each node's individual latency histograms in
+  /// ExperimentResult::node_latency (off by default: the merged view is
+  /// enough for most tables and the copies are ~30 KiB per node).
+  bool collect_per_node_latency = false;
 };
 
 struct ExperimentResult {
@@ -58,6 +69,13 @@ struct ExperimentResult {
   std::uint64_t read_messages = 0;
   std::uint64_t commit_messages = 0;
   bool invariants_ok = false;
+
+  /// Cluster-merged latency histograms (always collected -- recording is
+  /// allocation-free arithmetic inside the runtimes).
+  core::LatencyMetrics latency;
+  /// Per-node histograms, filled only when
+  /// ExperimentConfig::collect_per_node_latency is set.
+  std::vector<core::LatencyMetrics> node_latency;
 
   /// Kernel-side cost of the point: host wall-clock for the workload phase
   /// (excludes the quiesce/checker runs) and simulator events executed,
@@ -76,11 +94,12 @@ struct ExperimentResult {
   std::uint64_t total_messages() const {
     return read_messages + commit_messages;
   }
-  /// Aborts per commit.
+  /// Aborts per commit; NaN with no commits (undefined ratio -- fmt()
+  /// renders it as "n/a").
   double abort_rate() const {
     return commits ? static_cast<double>(total_aborts()) /
                          static_cast<double>(commits)
-                   : 0.0;
+                   : std::numeric_limits<double>::quiet_NaN();
   }
   /// Messages per commit (normalising message counts across modes whose
   /// runs commit different transaction counts in the same duration).

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/serde.h"
+#include "core/backoff.h"
 #include "core/history.h"
 #include "net/latency.h"
 
@@ -352,6 +353,7 @@ sim::Task<void> DecentCluster::run_transaction(net::NodeId node,
 
 sim::Task<bool> DecentCluster::run_transaction_bounded(
     net::NodeId node, DecentBody body, std::uint32_t max_attempts) {
+  const sim::Tick txn_start = sim_.now();
   std::uint32_t attempt = 0;
   for (;;) {
     DecentTxn txn(*this, node, next_txn_id_++);
@@ -362,6 +364,7 @@ sim::Task<bool> DecentCluster::run_transaction_bounded(
       ++metrics_.commit_requests;
       if (co_await try_commit(txn)) {
         ++metrics_.commits;
+        latency_.commit_latency.record(sim_.now() - txn_start);
         co_return true;
       }
       aborted = true;
@@ -376,13 +379,12 @@ sim::Task<bool> DecentCluster::run_transaction_bounded(
     }
     ++attempt;
     if (max_attempts != 0 && attempt >= max_attempts) co_return false;
-    const std::uint32_t exp = std::min(attempt, 8u);
-    const sim::Tick window =
-        std::min(cfg_.backoff_cap, cfg_.backoff_base << exp);
-    if (window > 0) {
-      co_await sim_.delay(static_cast<sim::Tick>(rng_.below(window)) +
-                          window / 2);
-    }
+    const sim::Tick abort_tick = sim_.now();
+    const sim::Tick wait = core::draw_backoff_wait(
+        cfg_.backoff_base, cfg_.backoff_cap, attempt, rng_);
+    latency_.backoff_wait.record(wait);
+    if (wait > 0) co_await sim_.delay(wait);
+    latency_.retry_gap.record(sim_.now() - abort_tick);
   }
 }
 

@@ -29,6 +29,7 @@
 
 #include "common/rng.h"
 #include "core/metrics.h"
+#include "core/trace.h"
 #include "core/types.h"
 #include "net/rpc.h"
 #include "sim/task.h"
@@ -134,6 +135,9 @@ class DecentCluster {
   void run_to_completion();
 
   core::Metrics& metrics() { return metrics_; }
+  /// Cluster-wide latency histograms (commit latency, backoff waits, retry
+  /// gaps; reads are unicast to a primary, so read_rtt stays empty).
+  const core::LatencyMetrics& latency() const { return latency_; }
   net::Network& network() { return *net_; }
   sim::Simulator& simulator() { return sim_; }
   sim::Tick duration() const { return sim_.now(); }
@@ -155,6 +159,7 @@ class DecentCluster {
   std::vector<std::unique_ptr<net::RpcEndpoint>> endpoints_;
   std::vector<std::unique_ptr<DecentNode>> nodes_;
   core::Metrics metrics_;
+  core::LatencyMetrics latency_;
   core::HistoryRecorder* recorder_ = nullptr;
   Rng rng_;
   TxnId next_txn_id_ = 1;

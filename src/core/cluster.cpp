@@ -82,6 +82,28 @@ void Cluster::set_history_recorder(HistoryRecorder* recorder) {
   }
 }
 
+void Cluster::set_trace_recorder(TraceRecorder* tracer) {
+  for (auto& rt : runtimes_) {
+    rt->set_trace_recorder(tracer);
+  }
+  for (auto& server : servers_) {
+    server->set_trace_recorder(tracer);
+  }
+}
+
+LatencyMetrics Cluster::merged_latency() const {
+  LatencyMetrics merged;
+  for (const auto& rt : runtimes_) {
+    merged.merge(rt->latency());
+  }
+  return merged;
+}
+
+const LatencyMetrics& Cluster::node_latency(net::NodeId node) const {
+  QRDTM_CHECK(node < runtimes_.size());
+  return runtimes_[node]->latency();
+}
+
 void Cluster::seed_object(ObjectId id, const Bytes& data, Version version) {
   for (auto& server : servers_) {
     server->store().seed(id, data, version);

@@ -93,6 +93,11 @@ class Cluster {
   /// nullptr detaches.
   void set_history_recorder(HistoryRecorder* recorder);
 
+  /// Attach a trace recorder (qrdtm-trace) to every runtime and replica
+  /// server; nullptr detaches (the default -- tracing off keeps the
+  /// simulated schedule bit-identical to the determinism goldens).
+  void set_trace_recorder(TraceRecorder* tracer);
+
   // ----- running work -----------------------------------------------------
 
   /// Spawn a client process on `node` that runs `body` as one transaction
@@ -138,6 +143,12 @@ class Cluster {
   TxnRuntime& runtime(net::NodeId node);
   QrServer& server(net::NodeId node);
   LockManager& lock_manager(net::NodeId node);
+
+  /// Cluster-wide latency view: every node's always-on histograms merged
+  /// (commit latency, read RTT, backoff waits, retry gaps).
+  LatencyMetrics merged_latency() const;
+  /// One node's latency histograms.
+  const LatencyMetrics& node_latency(net::NodeId node) const;
   std::uint32_t num_nodes() const { return cfg_.num_nodes; }
   const ClusterConfig& config() const { return cfg_; }
 

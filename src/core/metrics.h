@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "sim/simulator.h"
 
@@ -53,11 +54,13 @@ struct Metrics {
     return s > 0 ? static_cast<double>(commits) / s : 0.0;
   }
 
-  /// Aborts per committed transaction (dimensionless abort rate).
+  /// Aborts per committed transaction (dimensionless abort rate).  With no
+  /// commits the ratio is undefined: NaN, never the raw abort count (which
+  /// would silently change units in report output -- printers show "n/a").
   double abort_rate() const {
     return commits ? static_cast<double>(total_aborts()) /
                          static_cast<double>(commits)
-                   : static_cast<double>(total_aborts());
+                   : std::numeric_limits<double>::quiet_NaN();
   }
 };
 

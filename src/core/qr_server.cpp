@@ -9,15 +9,27 @@ QrServer::QrServer(net::RpcEndpoint& rpc) : rpc_(rpc), id_(rpc.id()) {
   // serves reads and votes without touching the allocator.
   rpc.register_service(msg::kRead,
                        [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+                         ReadResponse resp = handle_read(ReadRequest::decode(b));
+                         if (tracer_ != nullptr) {
+                           tracer_->instant(TraceKind::kServerRead, id_,
+                                            rpc_.inbound_trace(),
+                                            rpc_.simulator().now(),
+                                            static_cast<std::uint64_t>(resp.status));
+                         }
                          Writer w(rpc_.acquire_buffer(msg::kRead));
-                         handle_read(ReadRequest::decode(b)).encode_into(w);
+                         resp.encode_into(w);
                          return std::move(w).take();
                        });
   rpc.register_service(
       msg::kCommitRequest,
       [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+        VoteResponse vote = handle_commit_request(CommitRequest::decode(b));
+        if (tracer_ != nullptr) {
+          tracer_->instant(TraceKind::kServerVote, id_, rpc_.inbound_trace(),
+                           rpc_.simulator().now(), vote.commit ? 1 : 0);
+        }
         Writer w(rpc_.acquire_buffer(msg::kCommitRequest));
-        handle_commit_request(CommitRequest::decode(b)).encode_into(w);
+        vote.encode_into(w);
         return std::move(w).take();
       });
   rpc.register_service(

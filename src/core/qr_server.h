@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/metrics.h"
+#include "core/trace.h"
 #include "core/wire.h"
 #include "net/rpc.h"
 #include "store/replica_store.h"
@@ -36,6 +37,11 @@ class QrServer {
   /// Number of Rqv validations this replica failed (test observability).
   std::uint64_t validation_failures() const { return validation_failures_; }
 
+  /// Attach a trace recorder; replica-side read/vote instants are tagged
+  /// with the requester's span context from the message envelope (nullptr =
+  /// tracing off).
+  void set_trace_recorder(TraceRecorder* tracer) { tracer_ = tracer; }
+
   /// Test-only: make this replica vote commit without validating read-set
   /// versions or write protection.  Exists solely to prove the history
   /// checker detects real 1-copy serializability violations (the fuzz
@@ -55,6 +61,7 @@ class QrServer {
 
   net::RpcEndpoint& rpc_;
   net::NodeId id_;
+  TraceRecorder* tracer_ = nullptr;
   store::ReplicaStore store_;
   std::uint64_t validation_failures_ = 0;
   bool skip_commit_validation_ = false;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/backoff.h"
 #include "core/history.h"
 
 namespace qrdtm::core {
@@ -96,7 +97,13 @@ sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
   rt_.metrics().read_messages += rq.size();
 
   Bytes encoded = std::move(w).take();
+  const sim::Tick fetch_start = rt_.simulator().now();
+  // Stamp the span context right before the sends; multicast issues them
+  // without suspending, so no other client on this shared endpoint can
+  // interleave and be mis-attributed.
+  if (rt_.tracer_ != nullptr) rt_.rpc_.set_trace_context(r.scope_id_);
   auto futures = rt_.rpc_.multicast(rq, msg::kRead, encoded, cfg.rpc_timeout);
+  if (rt_.tracer_ != nullptr) rt_.rpc_.set_trace_context(0);
   rt_.rpc_.release_buffer(std::move(encoded));
 
   bool have_best = false;
@@ -141,6 +148,14 @@ sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
     }
   }
 
+  // Record the fetch before the abort checks so aborted fetches still count
+  // toward read RTT (they cost the same wall-clock round trip).
+  rt_.latency_.read_rtt.record(rt_.simulator().now() - fetch_start);
+  if (rt_.tracer_ != nullptr) {
+    rt_.tracer_->span(TraceKind::kReadFetch, rt_.node(), r.scope_id_,
+                      fetch_start, rt_.simulator().now(), id, ok_replies);
+  }
+
   if (have_abort) {
     ++rt_.metrics().validation_failures;
     if (cfg.mode == NestingMode::kClosed) {
@@ -183,12 +198,18 @@ sim::Task<void> Txn::after_fetch_chk() {
   // Automatic checkpoint: charge creation cost (fixed + per snapshotted
   // object), snapshot the data-set and the execution cursor, open a new
   // epoch.
+  const sim::Tick chk_start = rt_.simulator().now();
   const sim::Tick cost =
       rt_.config().chk_create_cost +
       rt_.config().chk_create_cost_per_obj *
           static_cast<sim::Tick>(r.readset_.size() + r.writeset_.size());
   if (cost > 0) {
     co_await rt_.simulator().delay(cost);
+  }
+  if (rt_.tracer_ != nullptr) {
+    rt_.tracer_->span(TraceKind::kChkCreate, rt_.node(), r.scope_id_,
+                      chk_start, rt_.simulator().now(), r.epoch_ + 1,
+                      r.readset_.size() + r.writeset_.size());
   }
   ++r.epoch_;
   Snapshot s;
@@ -317,6 +338,7 @@ sim::Task<void> Txn::nested(TxnBody body) {
   }
   for (;;) {
     Txn child(rt_, this);
+    const sim::Tick scope_start = rt_.simulator().now();
     bool retry = false;
     bool do_propagate = false;
     AbortException propagate;
@@ -329,6 +351,11 @@ sim::Task<void> Txn::nested(TxnBody body) {
         propagate = a;  // abortClosed is an ancestor: keep unwinding
         do_propagate = true;
       }
+    }
+    if (rt_.tracer_ != nullptr) {
+      rt_.tracer_->span(TraceKind::kCtScope, rt_.node(), root().scope_id_,
+                        scope_start, rt_.simulator().now(), child.scope_id_,
+                        retry || do_propagate ? 0 : 1);
     }
     if (do_propagate) {
       // The child's sets die with it; drop its materialised entries before
@@ -345,7 +372,14 @@ sim::Task<void> Txn::nested(TxnBody body) {
       }
       const sim::Tick base = rt_.config().ct_retry_backoff;
       if (base > 0) {
-        co_await rt_.simulator().delay(base / 2 + rt_.rng().below(base));
+        const sim::Tick wait = base / 2 + rt_.rng().below(base);
+        rt_.latency_.backoff_wait.record(wait);
+        const sim::Tick wait_start = rt_.simulator().now();
+        co_await rt_.simulator().delay(wait);
+        if (rt_.tracer_ != nullptr) {
+          rt_.tracer_->span(TraceKind::kBackoff, rt_.node(), root().scope_id_,
+                            wait_start, rt_.simulator().now(), 0);
+        }
       }
       continue;  // paper: retry T_closed from its beginning
     }
@@ -520,8 +554,10 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
                                          std::uint32_t max_attempts,
                                          bool count_commit) {
   Txn root(*this, nullptr);
+  const sim::Tick txn_start = simulator().now();
   std::uint32_t attempt = 0;
   for (;;) {
+    const sim::Tick attempt_start = simulator().now();
     bool committed = false;
     bool aborted = false;
     AbortException abort;
@@ -533,13 +569,28 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
       abort = a;
       aborted = true;
     }
+    if (tracer_ != nullptr) {
+      tracer_->span(TraceKind::kAttempt, node(), root.scope_id_, attempt_start,
+                    simulator().now(), attempt + 1, committed ? 1 : 0);
+    }
     if (committed) {
+      const sim::Tick now = simulator().now();
+      latency_.commit_latency.record(now - txn_start);
+      if (tracer_ != nullptr) {
+        tracer_->span(TraceKind::kTxn, node(), root.scope_id_, txn_start, now,
+                      attempt + 1);
+      }
       if (recorder_ != nullptr) record_commit_history(root);
       co_await finish_open(root, /*committed=*/true);
       if (count_commit) ++metrics_.commits;
       co_return true;
     }
     QRDTM_CHECK(aborted);
+    const sim::Tick abort_tick = simulator().now();
+    if (tracer_ != nullptr) {
+      tracer_->instant(TraceKind::kAbort, node(), root.scope_id_, abort_tick,
+                       attempt + 1);
+    }
 
     if (config_.mode == NestingMode::kCheckpoint &&
         abort.target == AbortTarget::kCheckpoint) {
@@ -556,6 +607,10 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
         if (config_.chk_restore_cost > 0) {
           co_await rpc_.simulator().delay(config_.chk_restore_cost);
         }
+        if (tracer_ != nullptr) {
+          tracer_->span(TraceKind::kChkRollback, node(), root.scope_id_,
+                        abort_tick, simulator().now(), target);
+        }
         continue;
       }
       // Rolling back to the start is a full abort.
@@ -571,7 +626,8 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
     root.reset_full();
     ++attempt;
     if (max_attempts != 0 && attempt >= max_attempts) co_return false;
-    co_await backoff(attempt);
+    co_await backoff(attempt, root.scope_id_);
+    latency_.retry_gap.record(simulator().now() - abort_tick);
   }
 }
 
@@ -632,7 +688,7 @@ sim::Task<void> TxnRuntime::acquire_abstract_lock(Txn& root,
       throw AbortException{AbortTarget::kRoot, root.scope_id_, 0,
                            "abstract lock conflict"};
     }
-    co_await backoff(attempt + 1);
+    co_await backoff(attempt + 1, root.scope_id_);
   }
 }
 
@@ -665,6 +721,10 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
   // An empty transaction (no reads, no writes) has nothing to validate.
   if (root.writeset_.empty() && root.readset_.empty()) {
     ++metrics_.local_commits;
+    if (tracer_ != nullptr) {
+      tracer_->span(TraceKind::kCommit2pc, node(), root.scope_id_,
+                    simulator().now(), simulator().now(), 0, /*local=*/1);
+    }
     co_return;
   }
   // Rqv makes read-only commits free under QR-CN (paper §III-A); flat QR
@@ -673,8 +733,13 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
   if (root.writeset_.empty() && config_.mode == NestingMode::kClosed &&
       config_.cn_local_readonly_commit) {
     ++metrics_.local_commits;
+    if (tracer_ != nullptr) {
+      tracer_->span(TraceKind::kCommit2pc, node(), root.scope_id_,
+                    simulator().now(), simulator().now(), 0, /*local=*/1);
+    }
     co_return;
   }
+  const sim::Tick commit_start = simulator().now();
 
   CommitRequest req;
   req.txn = root.scope_id_;
@@ -696,8 +761,10 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
   Writer reqw(rpc_.acquire_buffer(msg::kCommitRequest));
   req.encode_into(reqw);
   Bytes reqbytes = std::move(reqw).take();
+  if (tracer_ != nullptr) rpc_.set_trace_context(root.scope_id_);
   auto futures =
       rpc_.multicast(wq, msg::kCommitRequest, reqbytes, config_.rpc_timeout);
+  if (tracer_ != nullptr) rpc_.set_trace_context(0);
   rpc_.release_buffer(std::move(reqbytes));
 
   bool all_commit = true;
@@ -722,11 +789,13 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
   confirm.encode_into(cw);
   Bytes encoded = std::move(cw).take();
   metrics_.commit_messages += wq.size();
+  if (tracer_ != nullptr) rpc_.set_trace_context(root.scope_id_);
   for (net::NodeId n : wq) {
     Bytes copy = rpc_.acquire_buffer(msg::kCommitConfirm);
     copy.assign(encoded.begin(), encoded.end());
     rpc_.notify(n, msg::kCommitConfirm, std::move(copy));
   }
+  if (tracer_ != nullptr) rpc_.set_trace_context(0);
   rpc_.release_buffer(std::move(encoded));
 
   // Charge the one-way confirm propagation (paper: commit-confirm cost is
@@ -736,6 +805,11 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
     co_await rpc_.simulator().delay(config_.commit_settle);
   }
 
+  if (tracer_ != nullptr) {
+    tracer_->span(TraceKind::kCommit2pc, node(), root.scope_id_, commit_start,
+                  simulator().now(), root.writeset_.size(), /*local=*/0);
+  }
+
   if (!all_commit) {
     ++metrics_.vote_aborts;
     throw AbortException{AbortTarget::kRoot, root.scope_id_, 0,
@@ -743,13 +817,18 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
   }
 }
 
-sim::Task<void> TxnRuntime::backoff(std::uint32_t attempt) {
-  const std::uint32_t exp = std::min(attempt, 8u);
-  const sim::Tick window =
-      std::min(config_.backoff_cap, config_.backoff_base << exp);
-  const sim::Tick wait =
-      window > 0 ? static_cast<sim::Tick>(rng_.below(window) + window / 2) : 0;
-  if (wait > 0) co_await rpc_.simulator().delay(wait);
+sim::Task<void> TxnRuntime::backoff(std::uint32_t attempt, TxnId txn) {
+  const sim::Tick wait = draw_backoff_wait(config_.backoff_base,
+                                           config_.backoff_cap, attempt, rng_);
+  latency_.backoff_wait.record(wait);
+  if (wait > 0) {
+    const sim::Tick start = simulator().now();
+    co_await rpc_.simulator().delay(wait);
+    if (tracer_ != nullptr) {
+      tracer_->span(TraceKind::kBackoff, node(), txn, start, simulator().now(),
+                    attempt);
+    }
+  }
 }
 
 }  // namespace qrdtm::core

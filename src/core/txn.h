@@ -34,6 +34,7 @@
 #include "core/abstract_locks.h"
 #include "core/failure_detector.h"
 #include "core/metrics.h"
+#include "core/trace.h"
 #include "core/types.h"
 #include "core/wire.h"
 #include "net/rpc.h"
@@ -336,6 +337,19 @@ class TxnRuntime {
   void set_history_recorder(HistoryRecorder* rec) { recorder_ = rec; }
   HistoryRecorder* history_recorder() { return recorder_; }
 
+  /// Attach a trace recorder capturing structured spans (root transactions,
+  /// attempts, CT scopes, checkpoints, quorum fetches, 2PC rounds) stamped
+  /// with simulator ticks.  nullptr = tracing off: every site is a single
+  /// pointer test and the simulated schedule is bit-identical.
+  void set_trace_recorder(TraceRecorder* tracer) { tracer_ = tracer; }
+  TraceRecorder* trace_recorder() { return tracer_; }
+
+  /// Always-on latency histograms for this node's client (commit latency,
+  /// read RTT, backoff waits, abort-to-retry gaps).  Pure arithmetic on
+  /// values the runtime already computes, so it cannot perturb the
+  /// simulation.
+  const LatencyMetrics& latency() const { return latency_; }
+
   const RuntimeConfig& config() const { return config_; }
   net::NodeId node() const { return rpc_.id(); }
   Metrics& metrics() { return metrics_; }
@@ -377,7 +391,7 @@ class TxnRuntime {
   /// Acquire one abstract lock at its home with bounded retries.
   sim::Task<void> acquire_abstract_lock(Txn& root, AbstractLockId lock);
 
-  sim::Task<void> backoff(std::uint32_t attempt);
+  sim::Task<void> backoff(std::uint32_t attempt, TxnId txn);
 
   /// Append the committed root's observable behaviour to the recorder.
   void record_commit_history(const Txn& root);
@@ -394,6 +408,8 @@ class TxnRuntime {
   Metrics& metrics_;
   FailureDetector* failure_detector_ = nullptr;
   HistoryRecorder* recorder_ = nullptr;
+  TraceRecorder* tracer_ = nullptr;
+  LatencyMetrics latency_;
   RuntimeConfig config_;
   Rng rng_;
   TxnId next_scope_id_;

@@ -28,6 +28,14 @@ struct Message {
   bool response = false;
   std::uint64_t rpc_id = 0;  // request/response correlation
   Bytes payload;
+  /// Span context (qrdtm-trace): the root transaction on whose behalf this
+  /// message travels, 0 when untraced.  Carried in the envelope -- not the
+  /// payload -- so replicas can tag server-side trace events without any
+  /// schema change, mirroring how real RPC stacks propagate trace ids in
+  /// headers.  NOTE: sizeof(Message) is part of the simulator's inline-
+  /// event budget (see Simulator::kInlineBytes) -- growing this struct can
+  /// push network deliveries onto the heap path.
+  std::uint64_t trace = 0;
 };
 
 }  // namespace qrdtm::net

@@ -29,7 +29,8 @@ sim::Future<RpcResult> RpcEndpoint::call(NodeId dst, MsgKind kind, Bytes req,
                     .kind = kind,
                     .response = false,
                     .rpc_id = rpc_id,
-                    .payload = std::move(req)});
+                    .payload = std::move(req),
+                    .trace = trace_ctx_});
 
   sim_.schedule_after(timeout, [this, rpc_id, dst]() {
     for (std::size_t i = 0; i < pending_.size(); ++i) {
@@ -51,7 +52,8 @@ void RpcEndpoint::notify(NodeId dst, MsgKind kind, Bytes payload) {
                     .kind = kind,
                     .response = false,
                     .rpc_id = 0,
-                    .payload = std::move(payload)});
+                    .payload = std::move(payload),
+                    .trace = trace_ctx_});
 }
 
 std::vector<sim::Future<RpcResult>> RpcEndpoint::multicast(
@@ -85,7 +87,9 @@ void RpcEndpoint::handle(Message&& m) {
 
   QRDTM_CHECK_MSG(m.kind < kMsgKindSpace && services_[m.kind],
                   "no service for message kind");
+  inbound_trace_ = m.trace;
   std::optional<Bytes> reply = services_[m.kind](m.src, m.payload);
+  inbound_trace_ = 0;
   net_.pool().release(std::move(m.payload));
   if (reply.has_value() && m.rpc_id != 0) {
     net_.send(Message{.src = id_,

@@ -75,6 +75,18 @@ class RpcEndpoint {
   /// Return a consumed payload (e.g. a decoded RpcResult's) to the pool.
   void release_buffer(Bytes&& b) { net_.pool().release(std::move(b)); }
 
+  /// Span context stamped into every outgoing *request* envelope (qrdtm-
+  /// trace).  Several client coroutines share one endpoint, so callers set
+  /// the context immediately before issuing sends, with no suspension in
+  /// between; 0 means untraced.
+  void set_trace_context(std::uint64_t ctx) { trace_ctx_ = ctx; }
+  std::uint64_t trace_context() const { return trace_ctx_; }
+
+  /// Span context of the request currently being served, valid only inside
+  /// a registered service invocation (0 otherwise).  Lets server handlers
+  /// tag trace events with the originating root transaction.
+  std::uint64_t inbound_trace() const { return inbound_trace_; }
+
  private:
   void handle(Message&& m);
 
@@ -87,6 +99,8 @@ class RpcEndpoint {
   Network& net_;
   NodeId id_;
   std::uint64_t next_rpc_id_ = 1;
+  std::uint64_t trace_ctx_ = 0;
+  std::uint64_t inbound_trace_ = 0;
   std::array<Service, kMsgKindSpace> services_;
   std::vector<Pending> pending_;
 };

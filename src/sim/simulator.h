@@ -149,7 +149,9 @@ class Simulator {
  private:
   /// Inline storage for event callables.  Sized for the largest hot-path
   /// capture: the network delivery closure (Network* + a full Message with
-  /// its payload vector, 56 bytes on LP64).
+  /// its payload vector and trace context, 64 bytes on LP64 -- an exact
+  /// fit, so growing Message again would spill deliveries to the heap and
+  /// trip the AllocRegression tests).
   static constexpr std::size_t kInlineBytes = 64;
 
   // The ordering key (at, seq) lives in the HeapEntry, not here: a slot

@@ -1,0 +1,10 @@
+// Fixture: MUST produce a hot-sorted-percentile diagnostic.
+#include <cstdint>
+
+struct Percentiles;
+
+double commit_p99(Percentiles& p);
+
+double report(Percentiles& lat) {
+  return commit_p99(lat);  // hot-sorted-percentile: sorts + allocates on query
+}

@@ -1,0 +1,11 @@
+// Fixture: fixed-bucket histogram on the hot path; no hot-sorted-percentile
+// diagnostics expected.
+#include <cstdint>
+
+struct LatencyHistogram {
+  void record(std::uint64_t v);
+};
+
+void on_commit(LatencyHistogram& h, std::uint64_t latency) {
+  h.record(latency);  // O(1), no allocation, no sort
+}

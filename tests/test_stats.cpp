@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace qrdtm {
 namespace {
 
@@ -53,7 +55,10 @@ TEST(Percentiles, InterleavedAddAndQuery) {
 TEST(PctChange, Basics) {
   EXPECT_DOUBLE_EQ(pct_change(150, 100), 50.0);
   EXPECT_DOUBLE_EQ(pct_change(50, 100), -50.0);
-  EXPECT_DOUBLE_EQ(pct_change(100, 0), 0.0);  // guarded
+  // Zero baseline: the ratio is undefined, so NaN (printers show "n/a"),
+  // never a fake 0 % that hides a missing baseline.
+  EXPECT_TRUE(std::isnan(pct_change(100, 0)));
+  EXPECT_TRUE(std::isnan(pct_change(0, 0)));
 }
 
 }  // namespace

@@ -59,6 +59,10 @@ struct ComboResult {
   std::string report;
   std::size_t committed = 0;
   core::HistoryRecorder recorder;
+  /// qrdtm-trace spans for the same run (QR combos only); dumped next to
+  /// the history counterexample on failure so a violation can be replayed
+  /// visually in Perfetto.
+  core::TraceRecorder tracer;
 };
 
 const char* mode_name(core::NestingMode m) {
@@ -147,6 +151,7 @@ ComboResult run_qr(const ComboSpec& c) {
   core::Cluster cluster(cfg);
   ComboResult out;
   cluster.set_history_recorder(&out.recorder);
+  cluster.set_trace_recorder(&out.tracer);
 
   std::unique_ptr<apps::App> app = apps::make_app(c.app);
   apps::WorkloadParams params;
@@ -570,14 +575,22 @@ ComboResult report_failure(ComboSpec spec, ComboResult res,
     std::printf("  shrunk to txns=%u\n", t);
     if (t == 1) break;
   }
-  std::string trace = opt.trace_dir + "/fuzz_counterexample_";
-  for (char ch : combo_name(spec)) trace += ch == ':' ? '_' : ch;
-  trace += ".txt";
+  std::string base = opt.trace_dir + "/fuzz_counterexample_";
+  for (char ch : combo_name(spec)) base += ch == ':' ? '_' : ch;
+  std::string trace = base + ".txt";
   if (!res.recorder.dump_to_file(trace)) trace = "<trace write failed>";
   std::printf("%s\n", res.report.c_str());
   std::printf("  combo:  %s (%zu committed txns)\n", combo_name(spec).c_str(),
               res.committed);
   std::printf("  trace:  %s\n", trace.c_str());
+  if (!res.tracer.empty()) {
+    // QR combos also carry a qrdtm-trace of the failing run; dump it in
+    // Chrome trace-event format for Perfetto.
+    std::string spans = base + ".trace.json";
+    if (res.tracer.write_chrome_trace(spans)) {
+      std::printf("  spans:  %s (load at ui.perfetto.dev)\n", spans.c_str());
+    }
+  }
   std::printf("  repro:  qrdtm_fuzz --repro %s --txns %u%s\n",
               combo_name(spec).c_str(), spec.txns_per_client,
               spec.break_validation ? " --break-validation" : "");

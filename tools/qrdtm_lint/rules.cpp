@@ -472,6 +472,14 @@ void check_hot(const Ctx& c) {
              "refcounts per call; prefer a pooled or stack-owned object");
       continue;
     }
+    if (name == "Percentiles") {
+      c.diag(t[i].line, "hot-sorted-percentile",
+             "Percentiles on a hot path: it buffers every sample and sorts "
+             "on query (O(n log n), allocating); use the fixed-bucket "
+             "LatencyHistogram (core/trace.h), which records in O(1) with "
+             "no allocation");
+      continue;
+    }
   }
 }
 
@@ -572,6 +580,7 @@ const std::vector<std::string>& all_rule_names() {
       "det-unordered-iter", "det-pointer-key",
       "coro-ref-capture", "coro-temp-ref",
       "hot-std-function", "hot-naked-new",     "hot-make-shared",
+      "hot-sorted-percentile",
   };
   return kNames;
 }

@@ -35,11 +35,17 @@ void usage() {
       "  --read-level N    tree read level (default 1)\n"
       "  --failures N      fail-stops before the run (default 0)\n"
       "  --chk-threshold N objects per checkpoint (default 1)\n"
-      "  --bench-json PATH write machine-readable perf results (JSON)\n");
+      "  --bench-json PATH write machine-readable perf results (JSON)\n"
+      "  --metrics-json PATH write per-node + aggregate latency histograms\n"
+      "                    (p50/p90/p99 of commit latency, read RTT,\n"
+      "                    backoff waits, retry gaps) as JSON\n"
+      "  --trace-json PATH record a full qrdtm-trace and write it in Chrome\n"
+      "                    trace-event format (open at ui.perfetto.dev)\n");
 }
 
 bool parse(int argc, char** argv, ExperimentConfig& cfg,
-           std::string& bench_json) {
+           std::string& bench_json, std::string& metrics_json,
+           std::string& trace_json) {
   cfg.params.num_objects = 0;  // sentinel: fill from default_objects
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -98,6 +104,10 @@ bool parse(int argc, char** argv, ExperimentConfig& cfg,
       cfg.chk_threshold = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--bench-json") {
       bench_json = val;
+    } else if (flag == "--metrics-json") {
+      metrics_json = val;
+    } else if (flag == "--trace-json") {
+      trace_json = val;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -148,14 +158,67 @@ bool write_bench_json(const std::string& path, const ExperimentConfig& cfg,
   return true;
 }
 
+namespace {
+
+void write_histogram_json(std::FILE* f, const char* name,
+                          const core::LatencyHistogram& h,
+                          const char* indent, bool last) {
+  std::fprintf(f,
+               "%s\"%s\": {\"count\": %llu, \"mean_ms\": %.3f, "
+               "\"min_ms\": %.3f, \"p50_ms\": %.3f, \"p90_ms\": %.3f, "
+               "\"p99_ms\": %.3f, \"max_ms\": %.3f}%s\n",
+               indent, name, static_cast<unsigned long long>(h.count()),
+               h.mean() / 1e6, sim::to_seconds(h.min()) * 1e3,
+               sim::to_seconds(h.percentile(50)) * 1e3,
+               sim::to_seconds(h.percentile(90)) * 1e3,
+               sim::to_seconds(h.percentile(99)) * 1e3,
+               sim::to_seconds(h.max()) * 1e3, last ? "" : ",");
+}
+
+void write_latency_json(std::FILE* f, const core::LatencyMetrics& m,
+                        const char* indent) {
+  write_histogram_json(f, "commit_latency", m.commit_latency, indent, false);
+  write_histogram_json(f, "read_rtt", m.read_rtt, indent, false);
+  write_histogram_json(f, "backoff_wait", m.backoff_wait, indent, false);
+  write_histogram_json(f, "retry_gap", m.retry_gap, indent, true);
+}
+
+/// Latency snapshot: aggregate (cluster-merged) and per-node histograms for
+/// the four tracked distributions, percentiles in milliseconds.
+bool write_metrics_json(const std::string& path, const ExperimentResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"protocol\": \"qr\",\n  \"aggregate\": {\n");
+  write_latency_json(f, r.latency, "    ");
+  std::fprintf(f, "  },\n  \"nodes\": [\n");
+  for (std::size_t n = 0; n < r.node_latency.size(); ++n) {
+    std::fprintf(f, "    {\n      \"node\": %zu,\n", n);
+    write_latency_json(f, r.node_latency[n], "      ");
+    std::fprintf(f, "    }%s\n", n + 1 < r.node_latency.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.duration = sim::sec(60);
   std::string bench_json;
-  if (!parse(argc, argv, cfg, bench_json)) {
+  std::string metrics_json;
+  std::string trace_json;
+  if (!parse(argc, argv, cfg, bench_json, metrics_json, trace_json)) {
     usage();
     return 2;
   }
+  core::TraceRecorder tracer;
+  if (!trace_json.empty()) cfg.trace = &tracer;
+  if (!metrics_json.empty()) cfg.collect_per_node_latency = true;
 
   std::printf("app=%s mode=%s nodes=%u clients=%u reads=%.2f calls=%u "
               "objects=%u seed=%llu\n",
@@ -185,7 +248,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.read_messages));
   std::printf("commit messages   %10llu\n",
               static_cast<unsigned long long>(r.commit_messages));
-  std::printf("aborts/commit     %10.2f\n", r.abort_rate());
+  // With zero commits the abort ratio is undefined (NaN): print "n/a".
+  std::printf("aborts/commit     %10s\n", fmt(r.abort_rate(), 10, 2).c_str());
+  std::printf("commit p50        %10.1f ms\n",
+              sim::to_seconds(r.latency.commit_latency.percentile(50)) * 1e3);
+  std::printf("commit p99        %10.1f ms\n",
+              sim::to_seconds(r.latency.commit_latency.percentile(99)) * 1e3);
+  std::printf("read rtt p50      %10.1f ms\n",
+              sim::to_seconds(r.latency.read_rtt.percentile(50)) * 1e3);
+  std::printf("read rtt p99      %10.1f ms\n",
+              sim::to_seconds(r.latency.read_rtt.percentile(99)) * 1e3);
   std::printf("msgs/commit       %10.1f\n", r.messages_per_commit());
   std::printf("invariants        %10s\n", r.invariants_ok ? "OK" : "VIOLATED");
   std::printf("wall clock        %10.3f s\n", r.wall_seconds);
@@ -195,6 +267,19 @@ int main(int argc, char** argv) {
 
   if (!bench_json.empty() && !write_bench_json(bench_json, cfg, r)) {
     return 2;
+  }
+  if (!metrics_json.empty() && !write_metrics_json(metrics_json, r)) {
+    return 2;
+  }
+  if (!trace_json.empty()) {
+    if (!tracer.write_chrome_trace(trace_json)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_json.c_str());
+      return 2;
+    }
+    std::printf("trace: %zu spans, %zu instants -> %s (load at "
+                "ui.perfetto.dev)\n",
+                tracer.spans().size(), tracer.instants().size(),
+                trace_json.c_str());
   }
   return r.invariants_ok ? 0 : 1;
 }
