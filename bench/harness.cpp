@@ -40,6 +40,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   QRDTM_CHECK(!alive.empty());
 
+  // Churn: restart the victims mid-run.  recover_node runs the catch-up
+  // protocol, so quorums shrink back toward the failure-free configuration
+  // in the second half of the run.
+  if (cfg.recover_at > 0 && cfg.failures > 0) {
+    std::vector<net::NodeId> victims;
+    for (std::uint32_t f = 0; f < cfg.failures; ++f) {
+      victims.push_back(static_cast<net::NodeId>(cfg.num_nodes - 1 - f));
+    }
+    cluster.simulator().schedule_at(cfg.recover_at, [&cluster, victims] {
+      for (net::NodeId v : victims) cluster.recover_node(v);
+    });
+  }
+
   auto app = apps::make_app(cfg.app);
   Rng setup_rng(cfg.seed * 7919 + 13);
   apps::WorkloadParams params = cfg.params;
@@ -69,6 +82,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.validation_failures = cluster.metrics().validation_failures;
   res.read_messages = cluster.metrics().read_messages;
   res.commit_messages = cluster.metrics().commit_messages;
+  res.node_recoveries = cluster.metrics().node_recoveries;
   res.throughput = cluster.metrics().throughput(cluster.duration());
   res.latency = cluster.merged_latency();
   if (cfg.collect_per_node_latency) {

@@ -31,6 +31,10 @@ struct ExperimentConfig {
   core::QuorumKind quorum = core::QuorumKind::kTree;
   std::uint32_t tree_read_level = 1;
   std::uint32_t failures = 0;  // nodes killed before the run (Fig. 10)
+  /// Churn: restart every pre-killed node at this tick via
+  /// Cluster::recover_node (anti-entropy catch-up + quorum re-admission).
+  /// 0 = killed nodes stay dead for the whole run.
+  sim::Tick recover_at = 0;
 
   /// QR-CHK knobs (ignored by other modes); defaults from RuntimeConfig.
   std::uint32_t chk_threshold = 1;
@@ -68,6 +72,7 @@ struct ExperimentResult {
   std::uint64_t validation_failures = 0;
   std::uint64_t read_messages = 0;
   std::uint64_t commit_messages = 0;
+  std::uint64_t node_recoveries = 0;
   bool invariants_ok = false;
 
   /// Cluster-merged latency histograms (always collected -- recording is

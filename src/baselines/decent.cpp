@@ -19,10 +19,21 @@ constexpr net::MsgKind kDecentApply = 0x0303;  // one-way
 }  // namespace
 
 /// Replica node: version histories for the objects it replicates.
+///
+/// Write locks carry a coordinator-liveness lease: a lock held longer than
+/// DecentConfig::lock_lease means the coordinator died between vote and
+/// apply, so the replica sheds it on the next conflicting vote instead of
+/// leaving the object unwritable forever.  A commit-apply whose transaction
+/// no longer holds the lock is dropped -- the lease already presumed that
+/// coordinator dead, and appending its version behind a successor's would
+/// break the history's timestamp order.
 class DecentNode {
  public:
-  DecentNode(net::RpcEndpoint& rpc, std::uint32_t history_depth)
-      : history_depth_(history_depth) {
+  DecentNode(net::RpcEndpoint& rpc, std::uint32_t history_depth,
+             sim::Tick lock_lease)
+      : history_depth_(history_depth),
+        sim_(rpc.simulator()),
+        lock_lease_(lock_lease) {
     rpc.register_service(kDecentRead, [this](net::NodeId, const Bytes& b) {
       return handle_read(b);
     });
@@ -42,11 +53,27 @@ class DecentNode {
     clock_ = std::max<Version>(clock_, 1);
   }
 
+  bool locked(ObjectId id) const {
+    auto it = objects_.find(id);
+    return it != objects_.end() && it->second.locked_by != 0;
+  }
+  std::uint64_t lease_breaks() const { return lease_breaks_; }
+  std::uint64_t stale_applies() const { return stale_applies_; }
+
  private:
   struct Entry {
     std::vector<std::pair<Version, Bytes>> versions;  // ascending by ts
     TxnId locked_by = 0;
+    sim::Tick locked_at = 0;
   };
+
+  /// Shed a lock whose holder's apply is overdue by the whole lease.
+  void shed_stale_lock(Entry& e) {
+    if (lock_lease_ == 0 || e.locked_by == 0) return;
+    if (sim_.now() < e.locked_at + lock_lease_) return;
+    e.locked_by = 0;
+    ++lease_breaks_;
+  }
 
   std::optional<Bytes> handle_read(const Bytes& b) {
     Reader r(b);
@@ -88,11 +115,15 @@ class DecentNode {
     ObjectId id = r.u64();
     Version base = r.u64();
     Entry& e = objects_[id];
+    shed_stale_lock(e);
     const Version newest = e.versions.empty() ? 0 : e.versions.back().first;
     // First-committer-wins: a newer committed version (or a competing lock)
     // kills the update.
     bool ok = newest <= base && (e.locked_by == 0 || e.locked_by == txn);
-    if (ok) e.locked_by = txn;
+    if (ok) {
+      e.locked_by = txn;
+      e.locked_at = sim_.now();
+    }
     Writer w;
     w.boolean(ok);
     return std::move(w).take();
@@ -108,6 +139,13 @@ class DecentNode {
     auto it = objects_.find(id);
     if (it == objects_.end()) return;
     Entry& e = it->second;
+    if (commit && e.locked_by != txn) {
+      // The lease shed this writer's lock (and possibly granted it to a
+      // successor): appending its version now could land behind a newer
+      // timestamp and corrupt the history's ordering invariant.
+      ++stale_applies_;
+      return;
+    }
     if (e.locked_by == txn) e.locked_by = 0;
     if (commit) {
       e.versions.emplace_back(ts, std::move(data));
@@ -119,6 +157,10 @@ class DecentNode {
   }
 
   std::uint32_t history_depth_;
+  sim::Simulator& sim_;
+  sim::Tick lock_lease_;
+  std::uint64_t lease_breaks_ = 0;
+  std::uint64_t stale_applies_ = 0;
   Version clock_ = 0;  // newest commit timestamp applied here
   std::map<ObjectId, Entry> objects_;
 };
@@ -217,12 +259,25 @@ DecentCluster::DecentCluster(DecentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
       rng_.next(), cfg_.service_time);
   for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
     endpoints_.push_back(std::make_unique<net::RpcEndpoint>(sim_, *net_));
-    nodes_.push_back(
-        std::make_unique<DecentNode>(*endpoints_.back(), cfg_.history_depth));
+    nodes_.push_back(std::make_unique<DecentNode>(
+        *endpoints_.back(), cfg_.history_depth, cfg_.lock_lease));
   }
 }
 
 DecentCluster::~DecentCluster() = default;
+
+bool DecentCluster::object_locked(ObjectId id) const {
+  for (net::NodeId rep : replicas_of(id)) {
+    if (nodes_[rep]->locked(id)) return true;
+  }
+  return false;
+}
+
+std::uint64_t DecentCluster::lock_lease_breaks() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->lease_breaks();
+  return total;
+}
 
 std::vector<net::NodeId> DecentCluster::replicas_of(ObjectId id) const {
   std::vector<net::NodeId> out;

@@ -104,6 +104,12 @@ struct DecentConfig {
   sim::Tick snapshot_compute = sim::msec(15);
   sim::Tick backoff_base = sim::msec(1);
   sim::Tick backoff_cap = sim::msec(32);
+  /// Coordinator-liveness lease on replica-side write locks: a lock
+  /// outstanding this long is presumed orphaned (its coordinator died
+  /// between vote and apply) and is shed on the next conflicting vote.  Far
+  /// above any legitimate vote->apply gap, so failure-free runs never trip
+  /// it.  0 disables shedding.
+  sim::Tick lock_lease = sim::sec(5);
 };
 
 class DecentCluster {
@@ -121,9 +127,10 @@ class DecentCluster {
   void spawn_loop_client(net::NodeId node, BodyFactory factory);
 
   /// Run one transaction, giving up after `max_attempts` aborts (0 =
-  /// unlimited).  Returns true on commit.  Chaos runs need the bound: a
-  /// dropped vote response orphans a replica-side lock, making its object
-  /// permanently unwritable -- an unbounded retry loop would never drain.
+  /// unlimited).  Returns true on commit.  Chaos runs still want the bound:
+  /// a lock orphaned by a dropped vote response is only shed after
+  /// DecentConfig::lock_lease, and a victim stuck behind it would otherwise
+  /// spin in retries for the whole lease window.
   sim::Task<bool> run_transaction_bounded(net::NodeId node, DecentBody body,
                                           std::uint32_t max_attempts);
 
@@ -145,6 +152,12 @@ class DecentCluster {
 
   /// Replica group of an object (first member is the read primary).
   std::vector<net::NodeId> replicas_of(ObjectId id) const;
+
+  /// True while any replica of `id` holds a transaction lock on it (test
+  /// observability for the lease-shedding path).
+  bool object_locked(ObjectId id) const;
+  /// Total locks shed by the coordinator-liveness lease, across all nodes.
+  std::uint64_t lock_lease_breaks() const;
 
  private:
   friend class DecentTxn;

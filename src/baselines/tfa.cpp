@@ -22,15 +22,25 @@ struct ObjectState {
   Version version = 0;
   Bytes data;
   TxnId locked_by = 0;
+  sim::Tick locked_at = 0;
 };
 
 }  // namespace
 
 /// Home-node server: owns the single authoritative copy of its objects and
 /// the node's TFA clock.
+///
+/// Locks carry a coordinator-liveness lease: a lock held longer than
+/// TfaConfig::lock_lease means the coordinator died mid-commit (its unlock
+/// or writeback never arrived), so the home node sheds it on the next
+/// conflicting lock/validate instead of leaving the object unwritable
+/// forever.  A writeback whose transaction no longer holds the lock is
+/// dropped -- the lease already presumed that coordinator dead, and
+/// applying its write over a successor's could roll the version backwards.
 class TfaNode {
  public:
-  explicit TfaNode(net::RpcEndpoint& rpc) : id_(rpc.id()) {
+  TfaNode(net::RpcEndpoint& rpc, sim::Tick lock_lease)
+      : id_(rpc.id()), sim_(rpc.simulator()), lock_lease_(lock_lease) {
     rpc.register_service(kTfaRead, [this](net::NodeId, const Bytes& b) {
       return handle_read(b);
     });
@@ -54,13 +64,28 @@ class TfaNode {
   }
 
   void seed(ObjectId id, const Bytes& data) {
-    objects_[id] = ObjectState{1, data, 0};
+    objects_[id] = ObjectState{1, data, 0, 0};
   }
 
   std::uint64_t clock() const { return clock_; }
   void advance_clock(std::uint64_t to) { clock_ = std::max(clock_, to); }
 
+  bool locked(ObjectId id) const {
+    auto it = objects_.find(id);
+    return it != objects_.end() && it->second.locked_by != 0;
+  }
+  std::uint64_t lease_breaks() const { return lease_breaks_; }
+  std::uint64_t stale_writebacks() const { return stale_writebacks_; }
+
  private:
+  /// Shed a lock whose holder's commit is overdue by the whole lease.
+  void shed_stale_lock(ObjectState& s) {
+    if (lock_lease_ == 0 || s.locked_by == 0) return;
+    if (sim_.now() < s.locked_at + lock_lease_) return;
+    s.locked_by = 0;
+    ++lease_breaks_;
+  }
+
   std::optional<Bytes> handle_read(const Bytes& b) {
     Reader r(b);
     ObjectId id = r.u64();
@@ -87,6 +112,7 @@ class TfaNode {
     bool ok = false;
     auto it = objects_.find(id);
     if (it != objects_.end()) {
+      shed_stale_lock(it->second);
       ok = it->second.version == version &&
            (it->second.locked_by == 0 || it->second.locked_by == txn);
     }
@@ -102,13 +128,15 @@ class TfaNode {
     TxnId txn = r.u64();
     bool ok = false;
     auto it = objects_.find(id);
+    if (it != objects_.end()) shed_stale_lock(it->second);
     if (it == objects_.end() && base == 0) {
       // First write to a transaction-created object: claim it.
-      objects_[id] = ObjectState{0, {}, txn};
+      objects_[id] = ObjectState{0, {}, txn, sim_.now()};
       ok = true;
     } else if (it != objects_.end() && it->second.version == base &&
                (it->second.locked_by == 0 || it->second.locked_by == txn)) {
       it->second.locked_by = txn;
+      it->second.locked_at = sim_.now();
       ok = true;
     }
     Writer w;
@@ -133,7 +161,13 @@ class TfaNode {
     Bytes data = r.blob();
     TxnId txn = r.u64();
     ObjectState& s = objects_[id];
-    QRDTM_CHECK_MSG(s.locked_by == txn, "writeback without lock");
+    if (s.locked_by != txn) {
+      // The lease shed this writer's lock (and possibly granted it to a
+      // successor): its writeback is stale and must not clobber state it
+      // no longer owns.
+      ++stale_writebacks_;
+      return;
+    }
     s.version = version;
     s.data = std::move(data);
     s.locked_by = 0;
@@ -141,7 +175,11 @@ class TfaNode {
   }
 
   net::NodeId id_;
+  sim::Simulator& sim_;
+  sim::Tick lock_lease_;
   std::uint64_t clock_ = 0;
+  std::uint64_t lease_breaks_ = 0;
+  std::uint64_t stale_writebacks_ = 0;
   std::map<ObjectId, ObjectState> objects_;
 };
 
@@ -311,8 +349,19 @@ TfaCluster::TfaCluster(TfaConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
       rng_.next(), cfg_.service_time);
   for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
     endpoints_.push_back(std::make_unique<net::RpcEndpoint>(sim_, *net_));
-    nodes_.push_back(std::make_unique<TfaNode>(*endpoints_.back()));
+    nodes_.push_back(
+        std::make_unique<TfaNode>(*endpoints_.back(), cfg_.lock_lease));
   }
+}
+
+bool TfaCluster::object_locked(ObjectId id) const {
+  return nodes_[home_of(id)]->locked(id);
+}
+
+std::uint64_t TfaCluster::lock_lease_breaks() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->lease_breaks();
+  return total;
 }
 
 TfaCluster::~TfaCluster() = default;

@@ -133,6 +133,12 @@ struct TfaConfig {
   /// N-TFA: closed-nested scopes with partial abort (off = flat TFA, the
   /// HyFlow baseline the paper compares against).
   bool closed_nesting = false;
+  /// Coordinator-liveness lease on home-node locks: a lock outstanding this
+  /// long is presumed orphaned (its coordinator died between lock and
+  /// writeback/unlock) and is shed on the next conflicting request.  Far
+  /// above any legitimate lock->writeback gap, so failure-free runs never
+  /// trip it.  0 disables shedding.
+  sim::Tick lock_lease = sim::sec(5);
 };
 
 /// One simulated TFA deployment (simulator + network + home nodes).
@@ -152,9 +158,10 @@ class TfaCluster {
   void spawn_loop_client(net::NodeId node, BodyFactory factory);
 
   /// Run one transaction, giving up after `max_attempts` aborts (0 =
-  /// unlimited).  Returns true on commit.  Chaos runs need the bound: a
-  /// dropped lock response orphans a home-node lock, making its object
-  /// permanently unwritable -- an unbounded retry loop would never drain.
+  /// unlimited).  Returns true on commit.  Chaos runs still want the bound:
+  /// a lock orphaned by a dropped response is only shed after
+  /// TfaConfig::lock_lease, and a victim stuck behind it would otherwise
+  /// spin in retries for the whole lease window.
   sim::Task<bool> run_transaction_bounded(net::NodeId node, TfaBody body,
                                           std::uint32_t max_attempts);
 
@@ -174,6 +181,12 @@ class TfaCluster {
   sim::Tick duration() const { return sim_.now(); }
   std::uint32_t num_nodes() const { return cfg_.num_nodes; }
   net::NodeId home_of(ObjectId id) const;
+
+  /// True while `id`'s home node holds a transaction lock on it (test
+  /// observability for the lease-shedding path).
+  bool object_locked(ObjectId id) const;
+  /// Total locks shed by the coordinator-liveness lease, across all nodes.
+  std::uint64_t lock_lease_breaks() const;
 
  private:
   friend class TfaTxn;

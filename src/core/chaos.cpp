@@ -85,6 +85,46 @@ FaultSchedule FaultSchedule::generate(std::uint64_t seed,
     std::sort(s.spikes.begin(), s.spikes.end(),
               [](const Spike& a, const Spike& b) { return a.at < b.at; });
   }
+
+  // New fault families draw strictly after the original ones, so schedules
+  // generated with the legacy options are bit-identical to what this
+  // function produced before churn existed.
+
+  // Recovers: one per kill, recover_after (+jitter) later.  May land past
+  // the horizon -- churn waves are allowed to finish during the drain.
+  if (opts.recover_after > 0) {
+    for (const Kill& k : s.kills) {
+      const sim::Tick jitter =
+          rng.below(opts.recover_jitter > 0 ? opts.recover_jitter : 1);
+      s.recovers.push_back(Recover{k.at + opts.recover_after + jitter, k.node});
+    }
+    std::sort(s.recovers.begin(), s.recovers.end(),
+              [](const Recover& a, const Recover& b) { return a.at < b.at; });
+  }
+
+  // Partitions: one per equal slice (non-overlapping, like bursts); the
+  // minority side is a small distinct draw from the candidate pool.
+  if (opts.partition_windows > 0) {
+    std::vector<net::NodeId> pool = opts.partition_candidates;
+    if (pool.empty()) {
+      for (net::NodeId n = 0; n < num_nodes; ++n) pool.push_back(n);
+    }
+    std::uint32_t max_side = opts.partition_max_side;
+    if (max_side == 0) max_side = std::max(1u, num_nodes / 3);
+    const sim::Tick slice = opts.horizon / opts.partition_windows;
+    for (std::uint32_t w = 0; w < opts.partition_windows; ++w) {
+      const sim::Tick len = std::min(opts.partition_len, slice / 2);
+      const sim::Tick room = slice > len ? slice - len : 1;
+      const std::uint32_t side_size =
+          1 + static_cast<std::uint32_t>(rng.below(max_side));
+      Partition p;
+      p.at = w * slice + rng.below(room);
+      p.len = len;
+      p.side = draw_distinct(rng, pool, side_size);
+      std::sort(p.side.begin(), p.side.end());
+      s.partitions.push_back(std::move(p));
+    }
+  }
   return s;
 }
 
@@ -103,6 +143,24 @@ void FaultSchedule::arm(sim::Simulator& sim, net::Network& net,
       }
     });
   }
+  // Endpoint-only revive (see the header): the provider is NOT re-admitting
+  // the node here, because without a state catch-up a rejoined stale
+  // replica could satisfy quorum intersections with stale data.
+  for (const Recover& r : recovers) {
+    sim.schedule_at(r.at, [&sim, &net, recorder, r] {
+      net.revive(r.node);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "revive node %u (endpoint only)", r.node);
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+  }
+  arm_network_faults(sim, net, recorder);
+}
+
+void FaultSchedule::arm_network_faults(sim::Simulator& sim, net::Network& net,
+                                       HistoryRecorder* recorder) const {
   for (const Burst& b : bursts) {
     sim.schedule_at(b.at, [&sim, &net, recorder, b] {
       net.set_drop_probability(b.prob);
@@ -140,11 +198,50 @@ void FaultSchedule::arm(sim::Simulator& sim, net::Network& net,
       }
     });
   }
+  for (const Partition& p : partitions) {
+    // Copied into the event: the schedule object need not outlive the run.
+    sim.schedule_at(p.at, [&sim, &net, recorder, p] {
+      net.set_partition(p.side);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "partition start len=%.1f ms side_a=%zu nodes",
+                static_cast<double>(p.len) * 1e-6, p.side.size());
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+    sim.schedule_at(p.at + p.len, [&sim, &net, recorder] {
+      net.clear_partition();
+      if (recorder != nullptr) {
+        recorder->record_fault(sim.now(), "partition end");
+      }
+    });
+  }
 }
 
 void FaultSchedule::arm(Cluster& cluster, HistoryRecorder* recorder) const {
-  arm(cluster.simulator(), cluster.network(),
-      kills_notify_provider ? &cluster.quorums() : nullptr, recorder);
+  sim::Simulator& sim = cluster.simulator();
+  const bool notify = kills_notify_provider;
+  for (const Kill& k : kills) {
+    sim.schedule_at(k.at, [&sim, &cluster, recorder, k, notify] {
+      cluster.kill_node(k.node, notify);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "kill node %u%s", k.node, notify ? "" : " (silent)");
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+  }
+  for (const Recover& r : recovers) {
+    sim.schedule_at(r.at, [&sim, &cluster, recorder, r] {
+      cluster.recover_node(r.node);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "recover node %u (catch-up)", r.node);
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+  }
+  arm_network_faults(sim, cluster.network(), recorder);
 }
 
 std::string FaultSchedule::describe() const {
@@ -164,6 +261,19 @@ std::string FaultSchedule::describe() const {
             static_cast<double>(s.at) * 1e-6,
             static_cast<double>(s.len) * 1e-6, s.node,
             static_cast<double>(s.extra) * 1e-6);
+  }
+  for (const Recover& r : recovers) {
+    appendf(out, "  recover t=%8.1f ms node=%u\n",
+            static_cast<double>(r.at) * 1e-6, r.node);
+  }
+  for (const Partition& p : partitions) {
+    appendf(out, "  partition t=%8.1f ms len=%.1f ms side_a={",
+            static_cast<double>(p.at) * 1e-6,
+            static_cast<double>(p.len) * 1e-6);
+    for (std::size_t i = 0; i < p.side.size(); ++i) {
+      appendf(out, i == 0 ? "%u" : ",%u", p.side[i]);
+    }
+    out += "}\n";
   }
   return out;
 }

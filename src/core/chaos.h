@@ -14,11 +14,19 @@
 //                see Network::set_drop_probability),
 //   * spikes  -- windows during which one node's links slow down by
 //                spike_extra each way (slow-but-alive: above the RPC timeout
-//                this is indistinguishable from a crash to its peers).
+//                this is indistinguishable from a crash to its peers),
+//   * recovers -- kill->rejoin churn: each kill is paired with a restart
+//                recover_after later.  Armed on a Cluster this runs the full
+//                recovery path (revive + catch-up + quorum re-admission);
+//                armed on a bare Network it only revives the endpoint --
+//                state catch-up needs the Cluster overload,
+//   * partitions -- windows during which request/response traffic crossing
+//                a symmetric cut is dropped (one-way notifies are exempt;
+//                see Network::set_partition).
 //
-// Bursts never overlap (each lives in its own slice of the horizon) and at
-// most one spike targets a given node, so disarm events cannot clobber a
-// later arm event's state.
+// Bursts never overlap (each lives in its own slice of the horizon), same
+// for partitions, and at most one spike targets a given node, so disarm
+// events cannot clobber a later arm event's state.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +64,20 @@ struct ChaosOptions {
   std::vector<net::NodeId> spike_candidates;
   sim::Tick spike_extra = sim::msec(700);
   sim::Tick spike_len = sim::msec(600);
+
+  /// Kill->rejoin churn: pair every kill with a recover this long after it
+  /// (plus up to recover_jitter).  0 = killed nodes stay dead (the paper's
+  /// one-way fault model).
+  sim::Tick recover_after = 0;
+  sim::Tick recover_jitter = sim::msec(200);
+
+  /// Symmetric partition windows (one per equal horizon slice, like
+  /// bursts).  The minority side is drawn from partition_candidates (empty
+  /// = all nodes), sized 1..partition_max_side (0 = up to num_nodes/3).
+  std::uint32_t partition_windows = 0;
+  sim::Tick partition_len = sim::msec(500);
+  std::uint32_t partition_max_side = 0;
+  std::vector<net::NodeId> partition_candidates;
 };
 
 struct FaultSchedule {
@@ -75,9 +97,21 @@ struct FaultSchedule {
     sim::Tick extra = 0;
   };
 
+  struct Recover {
+    sim::Tick at = 0;
+    net::NodeId node = 0;
+  };
+  struct Partition {
+    sim::Tick at = 0;
+    sim::Tick len = 0;
+    std::vector<net::NodeId> side;  // one side of the cut
+  };
+
   std::vector<Kill> kills;
   std::vector<Burst> bursts;
   std::vector<Spike> spikes;
+  std::vector<Recover> recovers;
+  std::vector<Partition> partitions;
   bool kills_notify_provider = true;
 
   /// Derive a schedule from (seed, num_nodes, options).  Pure and
@@ -87,15 +121,26 @@ struct FaultSchedule {
 
   /// Schedule the fault events onto `sim`.  Call before running.  `provider`
   /// (nullable) is notified of kills when kills_notify_provider is set;
-  /// `recorder` (nullable) gets a kFault event per transition.
+  /// `recorder` (nullable) gets a kFault event per transition.  Recover
+  /// events only revive the network endpoint here -- re-admitting a replica
+  /// to quorums safely requires the state catch-up that only the Cluster
+  /// overload can run, so `provider` is deliberately NOT told about
+  /// recoveries by this overload.
   void arm(sim::Simulator& sim, net::Network& net,
            quorum::QuorumProvider* provider, HistoryRecorder* recorder) const;
 
-  /// Convenience overload for a QR Cluster (kills via Cluster::kill_node).
+  /// Overload for a QR Cluster: kills via Cluster::kill_node, recovers via
+  /// Cluster::recover_node (full catch-up + quorum re-admission).
   void arm(Cluster& cluster, HistoryRecorder* recorder) const;
 
+  /// Arm only the network-level faults (bursts, spikes, partitions); shared
+  /// by both arm() overloads.
+  void arm_network_faults(sim::Simulator& sim, net::Network& net,
+                          HistoryRecorder* recorder) const;
+
   bool empty() const {
-    return kills.empty() && bursts.empty() && spikes.empty();
+    return kills.empty() && bursts.empty() && spikes.empty() &&
+           recovers.empty() && partitions.empty();
   }
 
   /// One-line-per-event human-readable description.

@@ -53,7 +53,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   if (cfg_.failure_detection_threshold > 0) {
     failure_detector_ = std::make_unique<FailureDetector>(
         cfg_.failure_detection_threshold,
-        [this](net::NodeId suspect) { quorums_->on_failure(suspect); });
+        [this](net::NodeId suspect) { quorums_->on_failure(suspect); },
+        // Rescind: the node answered after all, so it never lost state and
+        // can rejoin quorums without a catch-up pull.
+        [this](net::NodeId node) { quorums_->on_recovery(node); });
   }
 
   endpoints_.reserve(cfg_.num_nodes);
@@ -69,6 +72,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
         *endpoints_.back(), *quorums_, metrics_, cfg_.runtime,
         seeder.next()));
     runtimes_.back()->set_failure_detector(failure_detector_.get());
+    servers_.back()->set_protection_lease(cfg_.protection_lease);
     if (cfg_.test_skip_commit_validation) {
       servers_.back()->set_validation_disabled_for_test(true);
     }
@@ -166,6 +170,66 @@ void Cluster::kill_node(net::NodeId node, bool notify_provider) {
   net_->kill(node);
   if (notify_provider) {
     quorums_->on_failure(node);
+  }
+}
+
+void Cluster::recover_node(net::NodeId node) {
+  QRDTM_CHECK(node < cfg_.num_nodes);
+  if (net_->alive(node)) return;
+  net_->revive(node);
+  // Process restart: committed versions survive, in-flight 2PC bookkeeping
+  // does not.  Protections held here must not resurrect -- their
+  // coordinators have long since timed out and moved on.
+  servers_[node]->store().clear_volatile();
+  servers_[node]->set_syncing(true);
+  if (failure_detector_) failure_detector_->forget(node);
+  sim_.spawn(recover_task(node));
+}
+
+sim::Task<void> Cluster::recover_task(net::NodeId node) {
+  // Bounded retries: with no live read quorum reachable the node stays
+  // syncing (excluded from quorums), which is safe -- just unavailable.
+  constexpr std::uint32_t kAttempts = 32;
+  QrServer& server = *servers_[node];
+  net::RpcEndpoint& rpc = *endpoints_[node];
+  for (std::uint32_t attempt = 0; attempt < kAttempts; ++attempt) {
+    std::vector<net::NodeId> peers;
+    try {
+      peers = quorums_->read_quorum(node);
+    } catch (const quorum::QuorumUnavailable&) {
+    }
+    std::erase(peers, node);
+    if (!peers.empty()) {
+      Bytes req = rpc.acquire_buffer(msg::kSyncPull);
+      auto futures =
+          rpc.multicast(peers, msg::kSyncPull, req, cfg_.runtime.rpc_timeout);
+      rpc.release_buffer(std::move(req));
+      std::size_t current = 0;
+      for (auto& f : futures) {
+        net::RpcResult res = co_await f;
+        if (!res.ok) continue;
+        SyncPullResponse resp = SyncPullResponse::decode(res.payload);
+        rpc.release_buffer(std::move(res.payload));
+        if (!resp.ok) continue;  // peer is itself still syncing
+        ++current;
+        for (SyncEntry& e : resp.entries) {
+          // apply() keeps only strictly-newer copies, so merging the whole
+          // quorum's stores is order-independent.
+          server.store().apply(e.id, e.version, std::move(e.data));
+        }
+      }
+      // Freshness needs the FULL read quorum: by Q1 it intersects every
+      // write quorum, so at least one counted member holds each committed
+      // version.  A partial gather could miss exactly the intersection
+      // node.
+      if (current == futures.size()) {
+        server.set_syncing(false);
+        quorums_->on_recovery(node);
+        ++metrics_.node_recoveries;
+        co_return;
+      }
+    }
+    co_await sim_.delay(cfg_.runtime.rpc_timeout);
   }
 }
 

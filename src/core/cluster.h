@@ -63,8 +63,19 @@ struct ClusterConfig {
   /// Timeout-based failure detection: after this many consecutive RPC
   /// timeouts from one node, quorums reconfigure around it.  0 disables
   /// detection (the paper's experiments assume failures are known; see
-  /// kill_node).
+  /// kill_node).  Suspicion is rescindable: a successful reply from a
+  /// suspected node re-admits it (no catch-up needed -- it never lost
+  /// state).
   std::uint32_t failure_detection_threshold = 0;
+
+  /// Coordinator-liveness lease on 2PC protections: a replica sheds a
+  /// protection held longer than this (its coordinator died between vote
+  /// and confirm) instead of wedging later writers forever.  The check is
+  /// lazy tick arithmetic on the conflict path, so the default costs
+  /// nothing in healthy runs -- a legitimate vote->confirm gap is bounded
+  /// by one one-way latency plus queueing, orders of magnitude below this.
+  /// 0 disables shedding.
+  sim::Tick protection_lease = sim::sec(5);
 
   /// Test-only: replicas vote commit without validating (see
   /// QrServer::set_validation_disabled_for_test).  The fuzz harness uses it
@@ -129,6 +140,21 @@ class Cluster {
   /// must be discovered by the timeout-based failure detector (if enabled).
   void kill_node(net::NodeId node, bool notify_provider = true);
 
+  /// Restart a killed node and bring it back into service:
+  ///   1. revive the network endpoint (a fresh incarnation: pre-crash
+  ///      traffic is dropped by the liveness-epoch check),
+  ///   2. wipe the replica's volatile 2PC state (protections, PR/PW) --
+  ///      committed versions survive, as on a durable store,
+  ///   3. mark the replica *syncing* (it refuses reads/votes), and
+  ///   4. spawn an anti-entropy catch-up: pull every peer copy from a full
+  ///      read quorum of live nodes, install strictly-newer versions, then
+  ///      re-admit the node via QuorumProvider::on_recovery.
+  /// Ordering matters for safety: by Q1 some read-quorum member holds every
+  /// committed version, so once the pull completes the rejoining replica is
+  /// current and may count toward quorums again; re-admitting before the
+  /// pull could hand a read quorum a stale copy.  No-op on a live node.
+  void recover_node(net::NodeId node);
+
   /// Nodes the timeout-based detector has suspected so far (0 when
   /// detection is disabled).
   std::size_t suspected_nodes() const;
@@ -156,6 +182,8 @@ class Cluster {
   sim::Tick duration() const { return sim_.now(); }
 
  private:
+  sim::Task<void> recover_task(net::NodeId node);
+
   ClusterConfig cfg_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> net_;

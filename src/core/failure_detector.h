@@ -11,7 +11,9 @@
 // congestion (queueing near the RPC timeout) does not trip the detector
 // unless it is persistent.  False suspicion of a live node is safe for
 // consistency -- quorums merely stop using it -- but wastes capacity, so
-// the threshold should sit well above sporadic-timeout levels.
+// suspicion is rescindable: a successful reply from a suspected node
+// (possible while in-flight requests still target it) clears the suspicion
+// and fires the rescind callback so the quorum provider re-admits it.
 #pragma once
 
 #include <cstdint>
@@ -27,10 +29,14 @@ class FailureDetector {
  public:
   using SuspectCallback = std::function<void(net::NodeId)>;
 
-  /// `threshold` consecutive timeouts suspect a node; the callback fires
-  /// exactly once per node.
-  FailureDetector(std::uint32_t threshold, SuspectCallback on_suspect)
-      : threshold_(threshold), on_suspect_(std::move(on_suspect)) {}
+  /// `threshold` consecutive timeouts suspect a node; `on_suspect` fires
+  /// once per suspect transition, `on_rescind` once per rescind transition
+  /// (a node that flaps fires both repeatedly, once per flap).
+  FailureDetector(std::uint32_t threshold, SuspectCallback on_suspect,
+                  SuspectCallback on_rescind = {})
+      : threshold_(threshold),
+        on_suspect_(std::move(on_suspect)),
+        on_rescind_(std::move(on_rescind)) {}
 
   void report_timeout(net::NodeId node) {
     if (suspected_.contains(node)) return;
@@ -43,6 +49,19 @@ class FailureDetector {
 
   void report_success(net::NodeId node) {
     consecutive_timeouts_.erase(node);
+    if (suspected_.erase(node) > 0) {
+      // The node answered: it was falsely suspected (its state is intact,
+      // it never restarted), so re-admission needs no catch-up.
+      if (on_rescind_) on_rescind_(node);
+    }
+  }
+
+  /// Drop all detector state for `node` without firing callbacks.  Used by
+  /// Cluster::recover_node, which drives provider re-admission itself once
+  /// the catch-up pull completes.
+  void forget(net::NodeId node) {
+    consecutive_timeouts_.erase(node);
+    suspected_.erase(node);
   }
 
   bool is_suspected(net::NodeId node) const {
@@ -54,6 +73,7 @@ class FailureDetector {
  private:
   std::uint32_t threshold_;
   SuspectCallback on_suspect_;
+  SuspectCallback on_rescind_;
   std::unordered_map<net::NodeId, std::uint32_t> consecutive_timeouts_;
   std::set<net::NodeId> suspected_;
 };

@@ -31,6 +31,9 @@ struct Metrics {
   std::uint64_t step_guard_trips = 0;     // zombie executions cut short
 
   // --- QR-ON (open nesting extension) ---
+  // --- recovery (churn experiments) ---
+  std::uint64_t node_recoveries = 0;  // replicas that completed catch-up
+
   std::uint64_t open_commits = 0;        // open-nested bodies committed
   std::uint64_t compensations_run = 0;   // undone after a root abort
   std::uint64_t lock_conflicts = 0;      // abstract-lock acquisition retries

@@ -1,5 +1,6 @@
 #include "core/qr_server.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace qrdtm::core {
@@ -38,6 +39,46 @@ QrServer::QrServer(net::RpcEndpoint& rpc) : rpc_(rpc), id_(rpc.id()) {
         handle_commit_confirm(CommitConfirm::decode(b));
         return std::nullopt;  // one-way
       });
+  rpc.register_service(msg::kSyncPull,
+                       [this](net::NodeId, const Bytes&) -> std::optional<Bytes> {
+                         SyncPullResponse resp = handle_sync_pull();
+                         Writer w(rpc_.acquire_buffer(msg::kSyncPull));
+                         resp.encode_into(w);
+                         return std::move(w).take();
+                       });
+}
+
+SyncPullResponse QrServer::handle_sync_pull() const {
+  SyncPullResponse resp;
+  // A replica that is itself catching up must not seed another one: its
+  // store can be stale and the puller counts this reply toward a full read
+  // quorum (the Q1 freshness argument needs every counted member current).
+  resp.ok = !syncing_;
+  if (!resp.ok) return resp;
+  resp.entries.reserve(store_.num_objects());
+  // Order fixed by the sort below.
+  // qrdtm-lint: allow(det-unordered-iter)
+  for (const auto& [id, e] : store_.entries()) {
+    resp.entries.push_back(SyncEntry{.id = id, .version = e.version,
+                                     .data = e.data});
+  }
+  std::sort(resp.entries.begin(), resp.entries.end(),
+            [](const SyncEntry& a, const SyncEntry& b) { return a.id < b.id; });
+  return resp;
+}
+
+bool QrServer::check_protected(ObjectId id, TxnId txn) {
+  if (!store_.protected_against(id, txn)) return false;
+  if (protection_lease_ > 0 &&
+      store_.expire_protection(id, rpc_.simulator().now(),
+                               protection_lease_)) {
+    // The protector's confirm is overdue by the whole lease: its
+    // coordinator is dead (confirms are one-way and prompt).  Shed the
+    // protection so this object does not stay unwritable forever.
+    ++lease_breaks_;
+    return false;
+  }
+  return true;
 }
 
 std::optional<ReadResponse> QrServer::validate(const ReadRequest& req) {
@@ -53,7 +94,7 @@ std::optional<ReadResponse> QrServer::validate(const ReadRequest& req) {
   for (const DataSetEntry& e : req.dataset) {
     const Version local = store_.version_of(e.id);
     const bool invalid =
-        e.version < local || store_.protected_against(e.id, req.root);
+        e.version < local || check_protected(e.id, req.root);
     if (!invalid) continue;
     any_invalid = true;
     // Alg. 1 line 8: drop the owner from PR/PW.  Owners are tracked per
@@ -85,6 +126,16 @@ std::optional<ReadResponse> QrServer::validate(const ReadRequest& req) {
 }
 
 ReadResponse QrServer::handle_read(const ReadRequest& req) {
+  // While catching up this replica's copies may be stale; kMissing makes the
+  // reader lean on the rest of its quorum (Q1 holds -- a syncing node is not
+  // yet counted live by the provider, so quorums that include it are larger
+  // than needed, never smaller).
+  if (syncing_) {
+    ReadResponse missing;
+    missing.status = ReadStatus::kMissing;
+    return missing;
+  }
+
   if (auto abort = validate(req)) return *abort;
 
   ReadResponse resp;
@@ -99,8 +150,8 @@ ReadResponse QrServer::handle_read(const ReadRequest& req) {
   // Alg. 1 applies to data-set entries).  Flat QR has no read-time conflict
   // detection: it serves the current (old) copy and lets the commit-time
   // validation catch the conflict.
-  if (req.mode != NestingMode::kFlat && e->is_protected &&
-      e->protector != req.root) {
+  if (req.mode != NestingMode::kFlat &&
+      check_protected(req.object, req.root)) {
     ReadResponse abort;
     abort.status = ReadStatus::kAbort;
     if (req.mode == NestingMode::kClosed) {
@@ -130,6 +181,11 @@ ReadResponse QrServer::handle_read(const ReadRequest& req) {
 }
 
 VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
+  // A syncing replica's versions are untrustworthy in both directions: a
+  // stale version would let a conflicting write pass validation.  Abort and
+  // let the coordinator retry once the quorum refreshes.
+  if (syncing_) return VoteResponse{.commit = false};
+
   // Decide commit/abort from local object state (paper §II): every read-set
   // version must still be current here, and nothing in either set may be
   // protected by a competing transaction.  The test-only bypass votes
@@ -138,13 +194,13 @@ VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
   if (!skip_commit_validation_) {
     for (const CommitReadEntry& e : req.readset) {
       if (e.version < store_.version_of(e.id) ||
-          store_.protected_against(e.id, req.txn)) {
+          check_protected(e.id, req.txn)) {
         return VoteResponse{.commit = false};
       }
     }
     for (const CommitWriteEntry& e : req.writeset) {
       if (e.base < store_.version_of(e.id) ||
-          store_.protected_against(e.id, req.txn)) {
+          check_protected(e.id, req.txn)) {
         return VoteResponse{.commit = false};
       }
     }
@@ -157,7 +213,7 @@ VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
   // crashing the replica.  unprotect() at confirm is a lenient no-op.
   if (!skip_commit_validation_) {
     for (const CommitWriteEntry& e : req.writeset) {
-      store_.protect(e.id, req.txn);
+      store_.protect(e.id, req.txn, rpc_.simulator().now());
     }
   }
   return VoteResponse{.commit = true};

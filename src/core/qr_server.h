@@ -11,6 +11,16 @@
 //   * kCommitRequest -- 2PC vote: validate read-set versions and write-set
 //     bases, check protection, protect the write-set on a commit vote.
 //   * kCommitConfirm -- apply (or roll back) the protected write-set.
+//   * kSyncPull      -- recovery catch-up: serve the full committed store to
+//     a rejoining replica (Cluster::recover_node's anti-entropy pull).
+//
+// Protections carry a coordinator-liveness lease: one held longer than the
+// lease means the coordinator died between vote and confirm (a confirm is
+// one-way and near-immediate), so the replica sheds it lazily on the next
+// conflicting read/vote instead of wedging later writers forever.  The check
+// is pure tick arithmetic on the conflict path only -- chaos-free runs never
+// shed (the default lease far exceeds any legitimate vote->confirm gap) and
+// their event schedule is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +47,19 @@ class QrServer {
   /// Number of Rqv validations this replica failed (test observability).
   std::uint64_t validation_failures() const { return validation_failures_; }
 
+  /// Recovery catch-up state.  While syncing, the replica refuses service
+  /// (reads answer kMissing, votes abort, sync pulls answer !ok): its store
+  /// may be stale, and Q1 only tolerates stale *excluded* replicas.
+  void set_syncing(bool syncing) { syncing_ = syncing; }
+  bool syncing() const { return syncing_; }
+
+  /// Coordinator-liveness lease on protections; 0 disables shedding.
+  void set_protection_lease(sim::Tick lease) { protection_lease_ = lease; }
+  sim::Tick protection_lease() const { return protection_lease_; }
+
+  /// Number of protections shed by the lease (test observability).
+  std::uint64_t lease_breaks() const { return lease_breaks_; }
+
   /// Attach a trace recorder; replica-side read/vote instants are tagged
   /// with the requester's span context from the message envelope (nullptr =
   /// tracing off).
@@ -59,11 +82,20 @@ class QrServer {
   /// data-set entry is invalid on this replica, nullopt when valid.
   std::optional<ReadResponse> validate(const ReadRequest& req);
 
+  /// protected_against with the coordinator-liveness lease applied: an
+  /// expired protection is shed (counted) and reads as unprotected.
+  bool check_protected(ObjectId id, TxnId txn);
+
+  SyncPullResponse handle_sync_pull() const;
+
   net::RpcEndpoint& rpc_;
   net::NodeId id_;
   TraceRecorder* tracer_ = nullptr;
   store::ReplicaStore store_;
   std::uint64_t validation_failures_ = 0;
+  std::uint64_t lease_breaks_ = 0;
+  sim::Tick protection_lease_ = 0;
+  bool syncing_ = false;
   bool skip_commit_validation_ = false;
 };
 

@@ -158,6 +158,39 @@ VoteResponse VoteResponse::decode(const Bytes& b) {
   return v;
 }
 
+void SyncPullResponse::encode_into(Writer& w) const {
+  std::size_t n = 1 + 4;
+  for (const SyncEntry& e : entries) n += 8 + 8 + 4 + e.data.size();
+  w.reserve(w.size() + n);
+  w.boolean(ok);
+  encode_vec(w, entries, [](Writer& w2, const SyncEntry& e) {
+    w2.u64(e.id);
+    w2.u64(e.version);
+    w2.blob(e.data);
+  });
+}
+
+Bytes SyncPullResponse::encode() const {
+  Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+SyncPullResponse SyncPullResponse::decode(const Bytes& b) {
+  Reader r(b);
+  SyncPullResponse resp;
+  resp.ok = r.boolean();
+  resp.entries = decode_vec<SyncEntry>(r, [](Reader& r2) {
+    SyncEntry e;
+    e.id = r2.u64();
+    e.version = r2.u64();
+    e.data = r2.blob();
+    return e;
+  });
+  r.expect_done();
+  return resp;
+}
+
 void CommitConfirm::encode_into(Writer& w) const {
   w.reserve(w.size() + 8 + 1 + writeset_bytes(writeset));
   w.u64(txn);

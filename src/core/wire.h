@@ -22,6 +22,7 @@ namespace msg {
 constexpr net::MsgKind kRead = 0x0101;
 constexpr net::MsgKind kCommitRequest = 0x0102;
 constexpr net::MsgKind kCommitConfirm = 0x0103;  // one-way, commit or abort
+constexpr net::MsgKind kSyncPull = 0x0104;       // recovery anti-entropy
 }  // namespace msg
 
 /// One validated object in the requester's data-set.
@@ -108,6 +109,28 @@ struct VoteResponse {
   Bytes encode() const;
   void encode_into(Writer& w) const;
   static VoteResponse decode(const Bytes& b);
+};
+
+/// One committed copy shipped during recovery catch-up.
+struct SyncEntry {
+  ObjectId id = 0;
+  Version version = 0;
+  Bytes data;
+};
+
+/// Reply to a kSyncPull (the request itself carries no payload): the serving
+/// replica's full committed store, ids ascending.  The recovering node
+/// installs each entry through ReplicaStore::apply, which keeps only
+/// strictly-newer copies, so merging pulls from a whole read quorum is
+/// order-independent.  `ok` is false while the *server* is itself still
+/// syncing -- a catching-up replica must not seed another one.
+struct SyncPullResponse {
+  bool ok = false;
+  std::vector<SyncEntry> entries;
+
+  Bytes encode() const;
+  void encode_into(Writer& w) const;
+  static SyncPullResponse decode(const Bytes& b);
 };
 
 /// One-way confirm broadcast to the write quorum after gathering votes.

@@ -26,6 +26,13 @@ struct Message {
   NodeId dst = kNoNode;
   MsgKind kind = 0;
   bool response = false;
+  /// Destination-incarnation stamp: the destination's liveness epoch at send
+  /// time (Network bumps a node's epoch on every kill *and* revive).  A
+  /// message whose stamp no longer matches at delivery was addressed to a
+  /// previous incarnation and is dropped, so reviving a node can never
+  /// replay pre-crash traffic.  Sits in what was struct padding, keeping
+  /// sizeof(Message) unchanged.
+  std::uint32_t dst_epoch = 0;
   std::uint64_t rpc_id = 0;  // request/response correlation
   Bytes payload;
   /// Span context (qrdtm-trace): the root transaction on whose behalf this

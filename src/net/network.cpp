@@ -33,6 +33,20 @@ void Network::send(Message&& m) {
     return;
   }
 
+  // Partition cut: request/response traffic between the two sides is lost;
+  // one-way notifies ride the reliable channel just like chaos drops.
+  if (partition_active_ && m.rpc_id != 0 &&
+      partition_side_[m.src] != partition_side_[m.dst]) {
+    ++stats_.dropped_partition;
+    pool_.release(std::move(m.payload));
+    return;
+  }
+
+  // Stamp the destination's current incarnation: if the destination dies or
+  // restarts while this message is in flight, the epoch check at delivery
+  // drops it instead of handing pre-crash traffic to the new incarnation.
+  m.dst_epoch = nodes_[m.dst].epoch;
+
   const sim::Tick arrival = sim_.now() + latency_->one_way(m.src, m.dst, rng_) +
                             node_slowdown(m.src) + node_slowdown(m.dst);
 
@@ -42,8 +56,8 @@ void Network::send(Message&& m) {
   // never copied between send() and the handler.
   sim_.schedule_at(arrival, [this, m = std::move(m)]() mutable {
     NodeState& dst = nodes_[m.dst];
-    if (!dst.alive) {
-      ++stats_.dropped_dead;
+    if (!dst.alive || dst.epoch != m.dst_epoch) {
+      ++(dst.alive ? stats_.dropped_stale : stats_.dropped_dead);
       pool_.release(std::move(m.payload));
       return;
     }
@@ -52,8 +66,8 @@ void Network::send(Message&& m) {
     dst.busy_until = done;
     sim_.schedule_at(done, [this, m = std::move(m)]() mutable {
       NodeState& d = nodes_[m.dst];
-      if (!d.alive) {
-        ++stats_.dropped_dead;
+      if (!d.alive || d.epoch != m.dst_epoch) {
+        ++(d.alive ? stats_.dropped_stale : stats_.dropped_dead);
         pool_.release(std::move(m.payload));
         return;
       }

@@ -12,7 +12,17 @@
 // Failure injection: kill(n) makes node n drop every message addressed to it
 // from the kill instant onward (fail-stop).  Messages already handed to a
 // dead node are lost; callers recover via RPC timeouts or by reconfiguring
-// quorums around known-dead nodes (paper §VI-D).
+// quorums around known-dead nodes (paper §VI-D).  revive(n) restarts the
+// node (Cluster::recover_node layers state catch-up on top); each kill and
+// revive bumps the node's liveness epoch, and in-flight messages stamped
+// with an older epoch are dropped at delivery -- a revived node never sees
+// traffic addressed to its previous incarnation, and the dropped payloads
+// go back to the pool.
+//
+// Partition injection: set_partition(side_a) drops request/response traffic
+// crossing the cut (both directions) until clear_partition(); one-way
+// notifies are exempt for the same reason as chaos drops (see
+// set_drop_probability).
 //
 // Hot-path notes: messages move (never copy) from send() through the two
 // delivery events into the handler, dropped payloads are recycled through
@@ -47,6 +57,8 @@ struct NetStats {
   std::uint64_t delivered_total = 0;
   std::uint64_t dropped_dead = 0;
   std::uint64_t dropped_chaos = 0;
+  std::uint64_t dropped_stale = 0;      // epoch mismatch (pre-crash traffic)
+  std::uint64_t dropped_partition = 0;  // crossed an active partition cut
 
   std::uint64_t sent_by_kind(MsgKind k) const { return sent_by_kind_[k]; }
 
@@ -70,7 +82,7 @@ class Network {
   /// Register a node's message handler.  Node ids must be dense from 0.
   NodeId add_node(Handler h) {
     nodes_.push_back(NodeState{std::move(h), /*alive=*/true,
-                               /*busy_until=*/0});
+                               /*busy_until=*/0, /*epoch=*/0});
     alive_dirty_ = true;
     return static_cast<NodeId>(nodes_.size() - 1);
   }
@@ -84,17 +96,34 @@ class Network {
     return nodes_[n].alive;
   }
 
-  /// Fail-stop the node.  Idempotent.
+  /// Fail-stop the node.  Idempotent.  The epoch bump makes every message
+  /// already in flight toward the node stale, so its queue drains to the
+  /// buffer pool instead of lingering until a revive.
   void kill(NodeId n) {
     QRDTM_CHECK(n < nodes_.size());
+    if (!nodes_[n].alive) return;
     nodes_[n].alive = false;
+    ++nodes_[n].epoch;
     alive_dirty_ = true;
   }
 
+  /// Restart a killed node with a fresh incarnation.  Idempotent.  The
+  /// epoch bump guarantees no pre-crash message can be replayed into the
+  /// new incarnation; busy_until resets because the restarted replica's
+  /// service queue is empty.
   void revive(NodeId n) {
     QRDTM_CHECK(n < nodes_.size());
+    if (nodes_[n].alive) return;
     nodes_[n].alive = true;
+    ++nodes_[n].epoch;
+    nodes_[n].busy_until = 0;
     alive_dirty_ = true;
+  }
+
+  /// Liveness-epoch counter for node n (bumped on each kill and revive).
+  std::uint32_t epoch(NodeId n) const {
+    QRDTM_CHECK(n < nodes_.size());
+    return nodes_[n].epoch;
   }
 
   /// Live node ids, cached between membership changes.  The reference is
@@ -140,6 +169,23 @@ class Network {
     return n < slowdown_.size() ? slowdown_[n] : 0;
   }
 
+  /// Chaos hook: symmetric partition.  Nodes listed in `side_a` form one
+  /// side of the cut, everyone else the other; request/response traffic
+  /// crossing the cut is dropped at send time until clear_partition().
+  /// One-way notifies are exempt (see set_drop_probability).  The check is
+  /// gated on an active partition, so partition-free runs do no per-message
+  /// work.
+  void set_partition(const std::vector<NodeId>& side_a) {
+    partition_side_.assign(nodes_.size(), 0);
+    for (NodeId n : side_a) {
+      QRDTM_CHECK(n < nodes_.size());
+      partition_side_[n] = 1;
+    }
+    partition_active_ = true;
+  }
+  void clear_partition() { partition_active_ = false; }
+  bool partition_active() const { return partition_active_; }
+
   const NetStats& stats() const { return stats_; }
 
   /// Service time charged per handled message at the destination replica.
@@ -160,6 +206,7 @@ class Network {
     Handler handler;
     bool alive;
     sim::Tick busy_until;
+    std::uint32_t epoch;  // incarnation counter; bumped on kill and revive
   };
 
   sim::Simulator& sim_;
@@ -167,6 +214,8 @@ class Network {
   Rng rng_;
   sim::Tick service_time_;
   double drop_prob_ = 0.0;
+  bool partition_active_ = false;
+  std::vector<std::uint8_t> partition_side_;  // sized on set_partition
   std::vector<sim::Tick> slowdown_;  // lazily sized; empty = no slow nodes
   std::vector<NodeState> nodes_;
   NetStats stats_;

@@ -139,6 +139,14 @@ void TreeQuorumProvider::on_failure(NodeId dead) {
   bump_generation();
 }
 
+void TreeQuorumProvider::on_recovery(NodeId node) {
+  QRDTM_CHECK(node < dead_.size());
+  if (dead_[node]) {
+    dead_[node] = false;
+    bump_generation();
+  }
+}
+
 // ---------------------------------------------------------------- majority
 
 MajorityQuorumProvider::MajorityQuorumProvider(std::uint32_t num_nodes,
@@ -180,6 +188,14 @@ void MajorityQuorumProvider::on_failure(NodeId dead) {
   QRDTM_CHECK(dead < dead_.size());
   dead_[dead] = true;
   bump_generation();
+}
+
+void MajorityQuorumProvider::on_recovery(NodeId node) {
+  QRDTM_CHECK(node < dead_.size());
+  if (dead_[node]) {
+    dead_[node] = false;
+    bump_generation();
+  }
 }
 
 // ---------------------------------------------------------------- flat/fig10
@@ -229,6 +245,16 @@ void FlatFailureAwareProvider::on_failure(NodeId dead) {
   if (!dead_[dead]) {
     dead_[dead] = true;
     ++failures_;
+    bump_generation();
+  }
+}
+
+void FlatFailureAwareProvider::on_recovery(NodeId node) {
+  QRDTM_CHECK(node < dead_.size());
+  if (dead_[node]) {
+    dead_[node] = false;
+    QRDTM_CHECK(failures_ > 0);
+    --failures_;
     bump_generation();
   }
 }

@@ -49,6 +49,13 @@ class QuorumProvider {
   /// Inform the provider of a fail-stop so later quorums avoid the node.
   virtual void on_failure(NodeId dead) = 0;
 
+  /// Re-admit a previously failed node.  Callers must only invoke this once
+  /// the node has caught up (Cluster::recover_node's anti-entropy pull):
+  /// re-admitting a stale replica would let a read quorum observe versions
+  /// older than the last commit, breaking the Q1 argument.  No-op for a node
+  /// that was never reported failed.
+  virtual void on_recovery(NodeId node) = 0;
+
   /// Monotone counter advanced on every membership change.  Quorums are a
   /// pure function of the live set, so clients may cache a computed quorum
   /// for as long as generation() holds still (TxnRuntime does).
@@ -83,6 +90,7 @@ class TreeQuorumProvider final : public QuorumProvider {
   std::vector<NodeId> read_quorum(NodeId node) const override;
   std::vector<NodeId> write_quorum(NodeId node) const override;
   void on_failure(NodeId dead) override;
+  void on_recovery(NodeId node) override;
 
   std::uint32_t height() const { return height_; }
 
@@ -112,6 +120,7 @@ class MajorityQuorumProvider final : public QuorumProvider {
   std::vector<NodeId> read_quorum(NodeId node) const override;
   std::vector<NodeId> write_quorum(NodeId node) const override;
   void on_failure(NodeId dead) override;
+  void on_recovery(NodeId node) override;
 
  private:
   std::vector<NodeId> pick(NodeId node, std::size_t count) const;
@@ -131,6 +140,7 @@ class FlatFailureAwareProvider final : public QuorumProvider {
   std::vector<NodeId> read_quorum(NodeId node) const override;
   std::vector<NodeId> write_quorum(NodeId node) const override;
   void on_failure(NodeId dead) override;
+  void on_recovery(NodeId node) override;
 
   std::uint32_t failures() const { return failures_; }
 

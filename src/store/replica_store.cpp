@@ -46,12 +46,13 @@ void ReplicaStore::apply(ObjectId id, Version version, Bytes data) {
   }
 }
 
-void ReplicaStore::protect(ObjectId id, TxnId txn) {
+void ReplicaStore::protect(ObjectId id, TxnId txn, std::uint64_t now) {
   ReplicaEntry& e = get_or_create(id);
   QRDTM_CHECK_MSG(!e.is_protected || e.protector == txn,
                   "protect over another transaction's protection");
   e.is_protected = true;
   e.protector = txn;
+  e.protect_tick = now;
 }
 
 void ReplicaStore::unprotect(ObjectId id, TxnId txn) {
@@ -60,6 +61,29 @@ void ReplicaStore::unprotect(ObjectId id, TxnId txn) {
     e->is_protected = false;
     e->protector = 0;
   }
+}
+
+bool ReplicaStore::expire_protection(ObjectId id, std::uint64_t now,
+                                     std::uint64_t lease) {
+  ReplicaEntry* e = find_mut(id);
+  if (!e || !e->is_protected) return false;
+  if (now < e->protect_tick + lease) return false;
+  e->is_protected = false;
+  e->protector = 0;
+  return true;
+}
+
+void ReplicaStore::clear_volatile() {
+  // Resetting flags entry-by-entry (any order; entries are independent).
+  // qrdtm-lint: allow(det-unordered-iter)
+  for (auto& [id, e] : entries_) {
+    e.is_protected = false;
+    e.protector = 0;
+    e.protect_tick = 0;
+    e.pr.clear();
+    e.pw.clear();
+  }
+  txn_objects_.clear();
 }
 
 void ReplicaStore::add_reader(ObjectId id, TxnId txn) {

@@ -30,6 +30,9 @@ struct ReplicaEntry {
   Bytes data;
   bool is_protected = false;
   TxnId protector = 0;
+  /// Simulation tick when the current protection was taken; the coordinator-
+  /// liveness lease (QrServer) sheds protections older than the lease.
+  std::uint64_t protect_tick = 0;
   std::set<TxnId> pr;  // potential readers
   std::set<TxnId> pw;  // potential writers
 };
@@ -54,11 +57,22 @@ class ReplicaStore {
   /// (a stale replica may receive confirms out of order across objects).
   void apply(ObjectId id, Version version, Bytes data);
 
-  /// 2PC vote bookkeeping.
-  void protect(ObjectId id, TxnId txn);
+  /// 2PC vote bookkeeping.  `now` is recorded so the protection can later be
+  /// lease-expired if the coordinator dies between vote and confirm.
+  void protect(ObjectId id, TxnId txn, std::uint64_t now = 0);
   /// Clears protection iff held by `txn` (confirms may arrive after a
   /// competing transaction re-protected the object).
   void unprotect(ObjectId id, TxnId txn);
+
+  /// Shed the protection on `id` iff it has been held for at least `lease`
+  /// ticks -- the coordinator is presumed dead (its confirm would have
+  /// arrived long ago).  Returns true when a protection was shed.
+  bool expire_protection(ObjectId id, std::uint64_t now, std::uint64_t lease);
+
+  /// Wipe all volatile 2PC state (protections, PR/PW lists) while keeping
+  /// committed versions.  Models a process restart: the protocol's in-flight
+  /// bookkeeping lives in memory, committed data is durable.
+  void clear_volatile();
 
   /// PR/PW maintenance (root transactions only, paper Alg. 2 line 17-18).
   void add_reader(ObjectId id, TxnId txn);
@@ -71,6 +85,12 @@ class ReplicaStore {
 
   /// Total PR+PW membership across all entries (test observability).
   std::size_t tracked_txn_entries() const;
+
+  /// Whole-store view for recovery catch-up serving; iteration order is
+  /// unspecified, so consumers building wire payloads must sort by id.
+  const std::unordered_map<ObjectId, ReplicaEntry>& entries() const {
+    return entries_;
+  }
 
  private:
   ReplicaEntry& get_or_create(ObjectId id);

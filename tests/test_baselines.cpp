@@ -1,6 +1,8 @@
 // Tests for the Fig. 9 comparison baselines: TFA (HyFlow) and DecentSTM.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baselines/decent.h"
 #include "baselines/tfa.h"
 #include "common/serde.h"
@@ -224,6 +226,117 @@ TEST(Decent, CommitBroadcastsToAllReplicas) {
   c.run_to_completion();
   // Vote + apply, each to all three replicas of the one written object.
   EXPECT_EQ(c.metrics().commit_messages, 6u);
+}
+
+// ------------------------------------------------- orphaned-lock leases
+//
+// Both baselines grant an exclusive lock during 2PC and release it with a
+// later message from the coordinator.  If the coordinator fail-stops in
+// between, that release never arrives; the lock lease must shed the orphan
+// so the object becomes writable again.
+
+sim::Task<void> tfa_bounded(TfaCluster* c, net::NodeId node, TfaBody body,
+                            std::uint32_t attempts, bool* committed) {
+  *committed =
+      co_await c->run_transaction_bounded(node, std::move(body), attempts);
+}
+
+TEST(Tfa, OrphanedLockShedByLeaseUnwedgesObject) {
+  TfaConfig cfg;
+  cfg.lock_lease = sim::msec(200);
+  TfaCluster c(cfg);
+  const ObjectId obj = c.seed_new_object(enc_i64(0));
+  // Doomed coordinator on a node that is NOT the object's home, so its
+  // writeback has to cross the (soon dead) network link.
+  const net::NodeId doomed =
+      c.home_of(obj) == 0 ? net::NodeId{1} : net::NodeId{0};
+  TfaBody bump = [obj](TfaTxn& t) -> sim::Task<void> {
+    std::int64_t v = dec_i64(co_await t.read_for_write(obj));
+    t.write(obj, enc_i64(v + 1));
+  };
+
+  bool doomed_committed = false;
+  c.simulator().spawn(tfa_bounded(&c, doomed, bump, 1, &doomed_committed));
+  // Run until the home has granted the lock, then fail-stop the coordinator
+  // before its writeback is sent: the lock is now orphaned.
+  bool locked = false;
+  sim::Tick poll_at = 0;
+  for (int i = 0; i < 1000 && !locked; ++i) {
+    poll_at += sim::usec(250);
+    c.simulator().advance_to(poll_at);
+    locked = c.object_locked(obj);
+  }
+  ASSERT_TRUE(locked) << "test setup: the lock was never granted";
+  c.network().kill(doomed);
+
+  bool committed = false;
+  const net::NodeId writer =
+      c.home_of(obj) == 2 ? net::NodeId{3} : net::NodeId{2};
+  c.simulator().spawn(tfa_bounded(&c, writer, bump, 50, &committed));
+  c.run_to_completion();
+
+  EXPECT_TRUE(committed) << "object stayed wedged behind the orphaned lock";
+  EXPECT_GT(c.lock_lease_breaks(), 0u);
+  EXPECT_FALSE(doomed_committed);
+  std::int64_t final_v = -1;
+  c.spawn_client(4, [&, obj](TfaTxn& t) -> sim::Task<void> {
+    final_v = dec_i64(co_await t.read(obj));
+  });
+  c.run_to_completion();
+  EXPECT_EQ(final_v, 1) << "only the second writer's increment commits";
+}
+
+sim::Task<void> decent_bounded(DecentCluster* c, net::NodeId node,
+                               DecentBody body, std::uint32_t attempts,
+                               bool* committed) {
+  *committed =
+      co_await c->run_transaction_bounded(node, std::move(body), attempts);
+}
+
+TEST(Decent, OrphanedLockShedByLeaseUnwedgesObject) {
+  DecentConfig cfg = fast_decent();
+  cfg.lock_lease = sim::msec(200);
+  DecentCluster c(cfg);
+  const ObjectId obj = c.seed_new_object(enc_i64(0));
+  // Doomed coordinator off the replica set: its commit-apply must cross
+  // the network, so killing it after the votes orphans the replica locks.
+  const std::vector<net::NodeId> replicas = c.replicas_of(obj);
+  net::NodeId doomed = 0;
+  while (std::find(replicas.begin(), replicas.end(), doomed) !=
+         replicas.end()) {
+    ++doomed;
+  }
+  DecentBody bump = [obj](DecentTxn& t) -> sim::Task<void> {
+    std::int64_t v = dec_i64(co_await t.read_for_write(obj));
+    t.write(obj, enc_i64(v + 1));
+  };
+
+  bool doomed_committed = false;
+  c.simulator().spawn(decent_bounded(&c, doomed, bump, 1, &doomed_committed));
+  bool locked = false;
+  sim::Tick poll_at = 0;
+  for (int i = 0; i < 1000 && !locked; ++i) {
+    poll_at += sim::msec(1);
+    c.simulator().advance_to(poll_at);
+    locked = c.object_locked(obj);
+  }
+  ASSERT_TRUE(locked) << "test setup: no replica ever voted the lock";
+  c.network().kill(doomed);
+
+  bool committed = false;
+  const net::NodeId writer = doomed == 0 ? net::NodeId{1} : net::NodeId{0};
+  c.simulator().spawn(decent_bounded(&c, writer, bump, 50, &committed));
+  c.run_to_completion();
+
+  EXPECT_TRUE(committed) << "object stayed wedged behind the orphaned lock";
+  EXPECT_GT(c.lock_lease_breaks(), 0u);
+  EXPECT_FALSE(doomed_committed);
+  std::int64_t final_v = -1;
+  c.spawn_client(writer, [&, obj](DecentTxn& t) -> sim::Task<void> {
+    final_v = dec_i64(co_await t.read(obj));
+  });
+  c.run_to_completion();
+  EXPECT_EQ(final_v, 1) << "only the second writer's increment commits";
 }
 
 }  // namespace

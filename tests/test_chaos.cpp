@@ -93,6 +93,63 @@ core::TxnBody bump_body(core::ObjectId id) {
   };
 }
 
+TEST(FaultSchedule, RecoversPairKillsAndLandAfterThem) {
+  ChaosOptions opts = busy_options();
+  opts.recover_after = sim::msec(600);
+  opts.recover_jitter = sim::msec(150);
+  const FaultSchedule s = FaultSchedule::generate(7, 13, opts);
+  ASSERT_FALSE(s.kills.empty());
+  ASSERT_EQ(s.recovers.size(), s.kills.size());
+  std::set<net::NodeId> killed;
+  for (const auto& k : s.kills) killed.insert(k.node);
+  for (std::size_t i = 0; i < s.recovers.size(); ++i) {
+    EXPECT_TRUE(killed.contains(s.recovers[i].node))
+        << "recover " << i << " targets a node that was never killed";
+    // Each recover must land strictly after its node's kill, within
+    // recover_after + recover_jitter.
+    sim::Tick kill_at = 0;
+    for (const auto& k : s.kills) {
+      if (k.node == s.recovers[i].node) kill_at = k.at;
+    }
+    EXPECT_GT(s.recovers[i].at, kill_at);
+    EXPECT_LE(s.recovers[i].at,
+              kill_at + opts.recover_after + opts.recover_jitter);
+  }
+}
+
+TEST(FaultSchedule, PartitionSidesRespectCandidatesAndWindows) {
+  ChaosOptions opts = busy_options();
+  opts.partition_windows = 3;
+  opts.partition_len = sim::msec(300);
+  opts.partition_max_side = 2;
+  for (net::NodeId n = 4; n < 13; ++n) opts.partition_candidates.push_back(n);
+  const FaultSchedule s = FaultSchedule::generate(9, 13, opts);
+  ASSERT_EQ(s.partitions.size(), 3u);
+  for (const auto& p : s.partitions) {
+    EXPECT_GE(p.side.size(), 1u);
+    EXPECT_LE(p.side.size(), 2u);
+    for (net::NodeId n : p.side) {
+      EXPECT_GE(n, 4u);
+      EXPECT_LT(n, 13u);
+    }
+    EXPECT_LE(p.at + p.len, opts.horizon);
+  }
+  // Windows must not overlap (disarm of one cannot clobber the next).
+  for (std::size_t i = 1; i < s.partitions.size(); ++i) {
+    EXPECT_GE(s.partitions[i].at,
+              s.partitions[i - 1].at + s.partitions[i - 1].len);
+  }
+}
+
+TEST(FaultSchedule, LegacyOptionsProduceNoChurnOrPartitions) {
+  // Pre-churn options (no recover_after, no partition_windows) must yield
+  // schedules identical in shape to the old generator: replayability of
+  // published fuzz seeds depends on it.
+  const FaultSchedule s = FaultSchedule::generate(42, 13, busy_options());
+  EXPECT_TRUE(s.recovers.empty());
+  EXPECT_TRUE(s.partitions.empty());
+}
+
 TEST(NetworkChaos, DropsAreCountedAndRequestsRecoverByRetry) {
   core::ClusterConfig cfg;
   cfg.seed = 5;

@@ -61,6 +61,41 @@ TEST(FailureDetectorUnit, FiresOncePerNodeAndTracksIndependently) {
   EXPECT_EQ(fd.suspected_count(), 2u);
 }
 
+TEST(FailureDetectorUnit, FlappingNodeFiresBothCallbacksPerFlap) {
+  // A node that oscillates between unresponsive and responsive: every
+  // suspect transition fires on_suspect, every successful reply while
+  // suspected fires on_rescind, and the node can be re-suspected after.
+  int suspected = 0;
+  int rescinded = 0;
+  FailureDetector fd(
+      2, [&](net::NodeId) { ++suspected; }, [&](net::NodeId) { ++rescinded; });
+  for (int flap = 0; flap < 3; ++flap) {
+    fd.report_timeout(7);
+    fd.report_timeout(7);
+    EXPECT_TRUE(fd.is_suspected(7));
+    fd.report_success(7);
+    EXPECT_FALSE(fd.is_suspected(7));
+  }
+  EXPECT_EQ(suspected, 3);
+  EXPECT_EQ(rescinded, 3);
+  // A success from a never-suspected node must not fire on_rescind.
+  fd.report_success(8);
+  EXPECT_EQ(rescinded, 3);
+  // forget() clears state silently: no callback, and the timeout counter
+  // restarts from zero.
+  fd.report_timeout(7);
+  fd.report_timeout(7);
+  EXPECT_EQ(suspected, 4);
+  fd.forget(7);
+  EXPECT_EQ(rescinded, 3);
+  EXPECT_FALSE(fd.is_suspected(7));
+  fd.report_timeout(7);
+  EXPECT_FALSE(fd.is_suspected(7)) << "forget must reset the counter";
+  fd.report_timeout(7);
+  EXPECT_TRUE(fd.is_suspected(7));
+  EXPECT_EQ(suspected, 5);
+}
+
 TEST(FailureDetectorE2E, SilentFailureIsDiscoveredAndRoutedAround) {
   // Kill a read-quorum member WITHOUT telling the provider.  With detection
   // enabled, the first few transactions time out against it, the detector

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
+
+#include "common/rng.h"
 
 namespace qrdtm::quorum {
 namespace {
@@ -202,6 +205,109 @@ TEST(FlatFailureAware, SpreadsReadQuorumsAfterFailures) {
   std::set<std::vector<net::NodeId>> distinct;
   for (net::NodeId n = 0; n < 27; ++n) distinct.insert(q.read_quorum(n));
   EXPECT_GT(distinct.size(), 10u);
+}
+
+// Churn property: under a random sequence of fail-stop / rejoin events,
+// every provider must keep (Q1) read-write and (Q2) write-write
+// intersection, never hand out a dead member, and advance its generation
+// on every membership change (TxnRuntime's quorum cache keys on it).
+TEST(QuorumChurnProperty, RandomKillRejoinPreservesInvariants) {
+  constexpr std::uint32_t kNodes = 13;
+  struct Provider {
+    const char* name;
+    std::unique_ptr<QuorumProvider> q;
+  };
+  Provider providers[] = {
+      {"tree", std::make_unique<TreeQuorumProvider>(tree_cfg(kNodes))},
+      {"majority", std::make_unique<MajorityQuorumProvider>(kNodes)},
+      {"flat", std::make_unique<FlatFailureAwareProvider>(kNodes)},
+  };
+  for (Provider& p : providers) {
+    QuorumProvider& q = *p.q;
+    qrdtm::Rng rng(0x9e3779b9u ^ static_cast<std::uint64_t>(p.name[0]));
+    std::vector<net::NodeId> dead;
+    std::uint64_t last_gen = q.generation();
+    for (int step = 0; step < 200; ++step) {
+      // Kill or rejoin; keep the root alive (its death blocks tree writes,
+      // covered separately below) and at most 3 concurrently dead.
+      const bool kill = dead.size() < 3 && (dead.empty() || rng.below(2) == 0);
+      if (kill) {
+        net::NodeId v;
+        do {
+          v = static_cast<net::NodeId>(1 + rng.below(kNodes - 1));
+        } while (std::find(dead.begin(), dead.end(), v) != dead.end());
+        q.on_failure(v);
+        dead.push_back(v);
+      } else {
+        const std::size_t i = rng.below(dead.size());
+        const net::NodeId v = dead[i];
+        dead.erase(dead.begin() + static_cast<std::ptrdiff_t>(i));
+        q.on_recovery(v);
+      }
+      ASSERT_GT(q.generation(), last_gen)
+          << p.name << " step " << step
+          << ": membership change must bump the generation";
+      last_gen = q.generation();
+      for (net::NodeId a : {net::NodeId{0}, net::NodeId{4}, net::NodeId{9}}) {
+        std::vector<net::NodeId> rq;
+        std::vector<net::NodeId> wq;
+        try {
+          rq = q.read_quorum(a);
+          wq = q.write_quorum(a);
+        } catch (const QuorumUnavailable&) {
+          // Legitimate under churn (e.g. two of the tree root's children
+          // dead): the provider must refuse rather than hand out a
+          // non-intersecting quorum, so there is nothing to check.
+          continue;
+        }
+        for (net::NodeId d : dead) {
+          ASSERT_EQ(std::find(rq.begin(), rq.end(), d), rq.end())
+              << p.name << " step " << step << ": dead node " << d
+              << " in read quorum";
+          ASSERT_EQ(std::find(wq.begin(), wq.end(), d), wq.end())
+              << p.name << " step " << step << ": dead node " << d
+              << " in write quorum";
+        }
+        for (net::NodeId b : {net::NodeId{2}, net::NodeId{11}}) {
+          std::vector<net::NodeId> wqb;
+          try {
+            wqb = q.write_quorum(b);
+          } catch (const QuorumUnavailable&) {
+            continue;
+          }
+          ASSERT_TRUE(intersects(rq, wqb))
+              << p.name << " step " << step << ": Q1 violated for salts " << a
+              << "," << b;
+          ASSERT_TRUE(intersects(wq, wqb))
+              << p.name << " step " << step << ": Q2 violated for salts " << a
+              << "," << b;
+        }
+      }
+    }
+    // Rejoin everyone: quorums must return to full-membership shapes.
+    for (net::NodeId v : dead) q.on_recovery(v);
+    dead.clear();
+    const std::vector<net::NodeId> wq = q.write_quorum(0);
+    EXPECT_TRUE(intersects(q.read_quorum(5), wq)) << p.name;
+    // Recovering an alive node is a no-op and must NOT bump the
+    // generation (it would needlessly invalidate every cached quorum).
+    const std::uint64_t gen = q.generation();
+    q.on_recovery(3);
+    EXPECT_EQ(q.generation(), gen) << p.name;
+  }
+}
+
+// Tree-specific churn corner: the root's death makes write quorums
+// unavailable; its rejoin must restore writability with the root back in
+// every write quorum.
+TEST(QuorumChurnProperty, TreeRootRejoinRestoresWrites) {
+  TreeQuorumProvider q(tree_cfg(13));
+  q.on_failure(0);
+  EXPECT_THROW(q.write_quorum(2), QuorumUnavailable);
+  q.on_recovery(0);
+  const std::vector<net::NodeId> wq = q.write_quorum(2);
+  EXPECT_NE(std::find(wq.begin(), wq.end(), net::NodeId{0}), wq.end());
+  EXPECT_EQ(wq.size(), 7u);
 }
 
 TEST(Intersects, Basics) {

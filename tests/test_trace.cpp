@@ -49,7 +49,9 @@ TEST(LatencyHistogramBuckets, IndexIsMonotoneAndUpperBounds) {
     const std::uint32_t idx = LatencyHistogram::bucket_index(v);
     EXPECT_GE(idx, prev);
     EXPECT_GE(LatencyHistogram::bucket_upper(idx), v);
-    if (idx > 0) EXPECT_LT(LatencyHistogram::bucket_upper(idx - 1), v);
+    if (idx > 0) {
+      EXPECT_LT(LatencyHistogram::bucket_upper(idx - 1), v);
+    }
     prev = idx;
   }
 }

@@ -3,7 +3,8 @@
 // Sweeps seed x protocol x nesting-mode x app x fault-schedule combinations.
 // Every combo runs a full deterministic simulation with a HistoryRecorder
 // attached, subjects it to a seed-derived fault schedule (fail-stops,
-// message-drop bursts, latency spikes), and then feeds the recorded history
+// kill/rejoin churn, partition windows, message-drop bursts, latency
+// spikes), and then feeds the recorded history
 // to check_history(): 1-copy serializability for the QR family and TFA,
 // snapshot-read validity for DecentSTM.  An application-level invariant
 // check (run through the protocol after the chaos quiesces) and a
@@ -93,10 +94,13 @@ std::string combo_name(const ComboSpec& c) {
 // Fault-schedule flavors, derived deterministically from (seed, sched):
 //   0 -- control, no faults;
 //   1 -- message-drop bursts + one latency spike;
-//   2 -- the above plus (QR only) one leaf fail-stop.
+//   2 -- the above plus (QR only) one leaf fail-stop;
+//   3 -- churn: flavor-1 network faults, plus one partition window for
+//        every protocol, plus (QR only) up to two fail-stops each paired
+//        with a catch-up recovery.
 // TFA is single-copy and DecentSTM requires full replica-group votes, so
-// neither tolerates kills by design -- they get flavors 0-1 semantics even
-// at sched 2.
+// neither tolerates kills by design -- for them flavors 2-3 keep the
+// network faults but never kill.
 core::FaultSchedule make_schedule(const ComboSpec& c) {
   if (c.sched == 0) return {};
   core::ChaosOptions opts;
@@ -116,6 +120,22 @@ core::FaultSchedule make_schedule(const ComboSpec& c) {
     // Tree-13 leaves: losing one never loses a whole quorum level.
     for (std::uint32_t n = 4; n < kNumNodes; ++n) {
       opts.kill_candidates.push_back(static_cast<net::NodeId>(n));
+    }
+  }
+  if (c.sched >= 3) {
+    if (c.protocol == "qr") {
+      // Recovery makes kills transient, so churn can afford two victims
+      // where the stay-dead flavor uses one.
+      opts.max_kills = 2;
+      opts.recover_after = sim::msec(700);
+      opts.recover_jitter = sim::msec(200);
+    }
+    opts.partition_windows = 1;
+    opts.partition_len = sim::msec(400);
+    opts.partition_max_side = 3;
+    // Partition server-side nodes only, like spikes.
+    for (std::uint32_t n = kClients; n < kNumNodes; ++n) {
+      opts.partition_candidates.push_back(static_cast<net::NodeId>(n));
     }
   }
   return core::FaultSchedule::generate(c.seed * 1000003 + c.sched, kNumNodes,
@@ -175,6 +195,7 @@ ComboResult run_qr(const ComboSpec& c) {
 
   // Quiesce chaos leftovers so the integrity check runs on a calm cluster.
   cluster.network().set_drop_probability(0.0);
+  cluster.network().clear_partition();
   for (std::uint32_t n = 0; n < kNumNodes; ++n) {
     cluster.network().set_node_slowdown(static_cast<net::NodeId>(n), 0);
   }
@@ -285,10 +306,11 @@ sim::Task<void> tfa_checker(baselines::TfaCluster* cl, bool* ok,
                             bool* committed) {
   // One single-read transaction per account.  The state is frozen once the
   // workload drains, so the piecewise sum is atomic in effect -- and a
-  // whole-sum transaction could livelock on a home-node lock orphaned by a
+  // whole-sum transaction could stall on a home-node lock orphaned by a
   // dropped lock response (its forwarding revalidation re-checks locks;
-  // real deployments shed such locks with leases, the simulator keeps the
-  // artifact).  A single-read transaction forwards before its first
+  // the lock lease sheds the orphan eventually, but only after
+  // TfaConfig::lock_lease of wall-clock the checker would burn in
+  // retries).  A single-read transaction forwards before its first
   // read-set entry exists, so it always commits.
   std::int64_t sum = 0;
   bool all_committed = true;
@@ -330,6 +352,7 @@ ComboResult run_tfa(const ComboSpec& c) {
   cluster.run_to_completion();
 
   cluster.network().set_drop_probability(0.0);
+  cluster.network().clear_partition();
   for (std::uint32_t n = 0; n < kNumNodes; ++n) {
     cluster.network().set_node_slowdown(static_cast<net::NodeId>(n), 0);
   }
@@ -415,6 +438,7 @@ ComboResult run_decent(const ComboSpec& c) {
   cluster.run_to_completion();
 
   cluster.network().set_drop_probability(0.0);
+  cluster.network().clear_partition();
   for (std::uint32_t n = 0; n < kNumNodes; ++n) {
     cluster.network().set_node_slowdown(static_cast<net::NodeId>(n), 0);
   }
@@ -456,6 +480,7 @@ struct Options {
   std::uint32_t seeds = 12;
   std::uint64_t seed_base = 1;
   std::uint32_t schedules = 3;
+  std::uint32_t sched_base = 0;
   std::uint32_t txns = 6;
   std::string trace_dir = ".";
   std::vector<std::string> protocols = {"qr", "tfa", "decent"};
@@ -472,7 +497,10 @@ void usage() {
       "usage: qrdtm_fuzz [options]\n"
       "  --seeds N           seeds per combo class (default 12)\n"
       "  --seed-base N       first seed (default 1)\n"
-      "  --schedules N       fault-schedule flavors 0..N-1 (default 3)\n"
+      "  --schedules N       number of fault-schedule flavors swept,\n"
+      "                      sched-base..sched-base+N-1 (default 3)\n"
+      "  --sched-base N      first fault-schedule flavor (default 0;\n"
+      "                      3 = kill/rejoin churn + partitions)\n"
       "  --txns N            transactions per client (default 6)\n"
       "  --protocols CSV     subset of qr,tfa,decent\n"
       "  --modes CSV         subset of flat,closed,checkpoint (qr only)\n"
@@ -531,6 +559,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.seed_base = static_cast<std::uint64_t>(std::atoll(val.c_str()));
     } else if (flag == "--schedules") {
       opt.schedules = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--sched-base") {
+      opt.sched_base = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--txns") {
       opt.txns = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--trace-dir") {
@@ -612,7 +642,7 @@ int main(int argc, char** argv) {
       for (std::uint32_t f = 0; f < opt.schedules; ++f) {
         ComboSpec c = base;
         c.seed = opt.seed_base + s;
-        c.sched = f;
+        c.sched = opt.sched_base + f;
         combos.push_back(c);
       }
     }
