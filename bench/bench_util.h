@@ -25,6 +25,8 @@ inline const char* mode_label(core::NestingMode m) {
       return "closed(QR-CN)";
     case core::NestingMode::kCheckpoint:
       return "chk(QR-CHK)";
+    case core::NestingMode::kQueued:
+      return "queued(QR-Q)";
   }
   return "?";
 }

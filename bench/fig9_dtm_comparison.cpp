@@ -9,6 +9,7 @@
 // The latency asymmetry is reproduced by configuration (unicast baselines
 // run on 2 ms links, QR-DTM on its default 12 ms multicast-class links);
 // Decent's snapshot overhead is the calibrated `snapshot_compute` cost.
+#include <algorithm>
 #include <cstdio>
 
 #include "baselines/decent.h"
@@ -69,15 +70,21 @@ SystemPoint from_latency(double tput, const core::LatencyMetrics& lat) {
       sim::to_seconds(lat.commit_latency.percentile(99)) * 1e3};
 }
 
-SystemPoint run_qr(std::uint32_t nodes, double ratio, std::uint64_t seed) {
+SystemPoint run_qr(std::uint32_t nodes, double ratio, std::uint64_t seed,
+                   core::NestingMode mode) {
   ExperimentConfig cfg;
   cfg.app = "bank";
-  cfg.mode = core::NestingMode::kFlat;  // plain QR, as compared in the paper
+  cfg.mode = mode;  // kFlat = plain QR, as compared in the paper
   cfg.params.read_ratio = ratio;
   cfg.params.nested_calls = kOpsPerTxn;
   cfg.params.num_objects = kAccounts;
   cfg.num_nodes = nodes;
-  cfg.clients = nodes;  // one client per node
+  cfg.clients = nodes;  // one client per node ...
+  if (mode == core::NestingMode::kQueued) {
+    // ... except QR-Q, whose batches only form with several clients per
+    // node: same client count, co-located on a quarter of the cluster.
+    cfg.client_nodes = std::max(1u, nodes / 4);
+  }
   cfg.duration = point_duration();
   cfg.seed = seed;
   auto res = run_experiment(cfg);
@@ -158,15 +165,19 @@ SystemPoint run_decent(std::uint32_t nodes, double ratio, std::uint64_t seed) {
 
 void panel(const char* title, double ratio) {
   print_header(title,
-               "nodes   QR-DTM  p50(ms)  p99(ms)  HyFlow(TFA)  p50(ms)"
-               "  p99(ms)  Decent-STM  p50(ms)  p99(ms)");
+               "nodes   QR-DTM  p50(ms)  p99(ms)     QR-Q  p50(ms)  p99(ms)"
+               "  HyFlow(TFA)  p50(ms)  p99(ms)  Decent-STM  p50(ms)"
+               "  p99(ms)");
   for (std::uint32_t nodes : {4u, 8u, 13u, 20u, 28u, 40u}) {
-    SystemPoint qr = run_qr(nodes, ratio, 46);
+    SystemPoint qr = run_qr(nodes, ratio, 46, core::NestingMode::kFlat);
+    SystemPoint qq = run_qr(nodes, ratio, 46, core::NestingMode::kQueued);
     SystemPoint tfa = run_tfa(nodes, ratio, 46);
     SystemPoint dec = run_decent(nodes, ratio, 46);
-    std::printf("%5u %s %s %s %s %s %s %s %s %s\n", nodes,
+    std::printf("%5u %s %s %s %s %s %s %s %s %s %s %s %s\n", nodes,
                 fmt(qr.tput).c_str(), fmt(qr.p50_ms, 8).c_str(),
-                fmt(qr.p99_ms, 8).c_str(), fmt(tfa.tput, 12).c_str(),
+                fmt(qr.p99_ms, 8).c_str(), fmt(qq.tput, 8).c_str(),
+                fmt(qq.p50_ms, 8).c_str(), fmt(qq.p99_ms, 8).c_str(),
+                fmt(tfa.tput, 12).c_str(),
                 fmt(tfa.p50_ms, 8).c_str(), fmt(tfa.p99_ms, 8).c_str(),
                 fmt(dec.tput, 11).c_str(), fmt(dec.p50_ms, 8).c_str(),
                 fmt(dec.p99_ms, 8).c_str());

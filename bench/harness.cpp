@@ -20,6 +20,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   cc.runtime.chk_create_cost_per_obj = cfg.chk_create_cost_per_obj;
   cc.runtime.chk_restore_cost = cfg.chk_restore_cost;
   cc.runtime.ct_retry_backoff = cfg.ct_retry_backoff;
+  cc.runtime.batch_window = cfg.batch_window;
+  cc.runtime.batch_max_txns = cfg.batch_max_txns;
   cc.quorum = cfg.quorum;
   cc.tree_read_level = cfg.tree_read_level;
   if (cfg.link_latency != 0) cc.link_latency = cfg.link_latency;
@@ -58,8 +60,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   apps::WorkloadParams params = cfg.params;
   app->setup(cluster, params, setup_rng);
 
+  // Placement: round-robin over every live node, or -- when client_nodes is
+  // set -- over just the first client_nodes live nodes (so QR-Q batches can
+  // actually form; a node with one client only ever batches one txn).
+  const std::size_t spread =
+      cfg.client_nodes > 0
+          ? std::min<std::size_t>(cfg.client_nodes, alive.size())
+          : alive.size();
   for (std::uint32_t i = 0; i < cfg.clients; ++i) {
-    net::NodeId node = alive[i % alive.size()];
+    net::NodeId node = alive[i % spread];
     cluster.spawn_loop_client(node, [&app, params](Rng& rng) {
       return app->make_txn(params, rng);
     });
@@ -83,6 +92,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.read_messages = cluster.metrics().read_messages;
   res.commit_messages = cluster.metrics().commit_messages;
   res.node_recoveries = cluster.metrics().node_recoveries;
+  res.batches = cluster.metrics().batches_committed;
+  res.speculation_rollbacks = cluster.metrics().speculation_rollbacks;
+  res.batch_read_hits = cluster.metrics().batch_read_hits;
   res.throughput = cluster.metrics().throughput(cluster.duration());
   res.latency = cluster.merged_latency();
   if (cfg.collect_per_node_latency) {
@@ -138,6 +150,12 @@ std::vector<ExperimentResult> run_sweep(
 std::vector<core::NestingMode> paper_modes() {
   return {core::NestingMode::kFlat, core::NestingMode::kClosed,
           core::NestingMode::kCheckpoint};
+}
+
+std::vector<core::NestingMode> all_modes() {
+  auto modes = paper_modes();
+  modes.push_back(core::NestingMode::kQueued);
+  return modes;
 }
 
 std::vector<std::string> paper_apps() {

@@ -46,6 +46,17 @@ struct ExperimentConfig {
   /// Closed-nesting retry pause (default from RuntimeConfig).
   sim::Tick ct_retry_backoff = core::RuntimeConfig{}.ct_retry_backoff;
 
+  /// QR-Q knobs (ignored by other modes); defaults from RuntimeConfig.
+  sim::Tick batch_window = core::RuntimeConfig{}.batch_window;
+  std::uint32_t batch_max_txns = core::RuntimeConfig{}.batch_max_txns;
+
+  /// Concentrate the closed-loop clients on the first `client_nodes` nodes
+  /// instead of spreading them round-robin over every live node (0 = spread,
+  /// the historical default).  Batching only amortises quorum traffic when a
+  /// node submits several transactions per window, so contention benchmarks
+  /// comparing kQueued against the per-transaction modes co-locate clients.
+  std::uint32_t client_nodes = 0;
+
   /// Network overrides (0 = ClusterConfig defaults).
   sim::Tick link_latency = 0;
   sim::Tick service_time = 0;
@@ -73,6 +84,9 @@ struct ExperimentResult {
   std::uint64_t read_messages = 0;
   std::uint64_t commit_messages = 0;
   std::uint64_t node_recoveries = 0;
+  std::uint64_t batches = 0;                // committed batches (kQueued)
+  std::uint64_t speculation_rollbacks = 0;  // discarded batch rounds
+  std::uint64_t batch_read_hits = 0;        // reads served from batch cache
   bool invariants_ok = false;
 
   /// Cluster-merged latency histograms (always collected -- recording is
@@ -93,8 +107,10 @@ struct ExperimentResult {
                             : 0.0;
   }
 
+  /// Mirrors core::Metrics::total_aborts(): under kQueued the unit of abort
+  /// is a discarded batch round (speculation_rollbacks), not a root retry.
   std::uint64_t total_aborts() const {
-    return root_aborts + ct_aborts + partial_rollbacks;
+    return root_aborts + ct_aborts + partial_rollbacks + speculation_rollbacks;
   }
   std::uint64_t total_messages() const {
     return read_messages + commit_messages;
@@ -125,6 +141,9 @@ std::vector<ExperimentResult> run_sweep(
 
 /// The three execution models in the paper's reporting order.
 std::vector<core::NestingMode> paper_modes();
+
+/// paper_modes() plus kQueued (QR-Q, queue-oriented speculative batching).
+std::vector<core::NestingMode> all_modes();
 
 /// Fig. 5-8 benchmark list (bst is Fig. 10 only).
 std::vector<std::string> paper_apps();

@@ -51,6 +51,14 @@ void HistoryRecorder::record_rollback(sim::Tick tick, net::NodeId node,
                                  txn, std::move(detail)});
 }
 
+void HistoryRecorder::record_batch(sim::Tick tick, net::NodeId node,
+                                   TxnId batch, std::size_t size) {
+  std::string detail;
+  appendf(detail, "batch committed (%zu txns)", size);
+  events_.push_back(HistoryEvent{HistoryEvent::Kind::kBatch, tick, node, batch,
+                                 std::move(detail)});
+}
+
 std::string HistoryRecorder::dump() const {
   std::string out;
   for (const auto& [id, seed] : seeds_) {
@@ -86,6 +94,7 @@ std::string HistoryRecorder::dump() const {
     const HistoryEvent& e = events_[ei];
     const char* kind = e.kind == HistoryEvent::Kind::kAbort      ? "abort"
                        : e.kind == HistoryEvent::Kind::kRollback ? "rollbk"
+                       : e.kind == HistoryEvent::Kind::kBatch    ? "batch"
                                                                  : "fault";
     appendf(out, "[%12.6f ms] %-7s", static_cast<double>(e.tick) * 1e-6, kind);
     if (e.kind != HistoryEvent::Kind::kFault) {

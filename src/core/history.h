@@ -68,9 +68,11 @@ struct CommittedTxn {
 };
 
 /// Non-commit events kept for trace dumps (aborts, partial rollbacks,
-/// injected faults).  They carry no weight in the checker.
+/// injected faults, QR-Q batch boundaries).  They carry no weight in the
+/// checker: a batched history is certified from the per-transaction commit
+/// records alone, the boundary events just make the dump legible.
 struct HistoryEvent {
-  enum class Kind : std::uint8_t { kAbort, kRollback, kFault };
+  enum class Kind : std::uint8_t { kAbort, kRollback, kFault, kBatch };
   Kind kind = Kind::kAbort;
   sim::Tick tick = 0;
   net::NodeId node = 0;
@@ -98,6 +100,11 @@ class HistoryRecorder {
 
   void record_rollback(sim::Tick tick, net::NodeId node, TxnId txn,
                        ChkEpoch target);
+
+  /// QR-Q: mark a committed batch's boundary.  The member transactions'
+  /// commit records immediately precede this event, in queue order.
+  void record_batch(sim::Tick tick, net::NodeId node, TxnId batch,
+                    std::size_t size);
 
   void record_fault(sim::Tick tick, std::string detail) {
     events_.push_back(HistoryEvent{HistoryEvent::Kind::kFault, tick,

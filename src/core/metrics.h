@@ -30,6 +30,11 @@ struct Metrics {
   std::uint64_t checkpoints_created = 0;  // QR-CHK
   std::uint64_t step_guard_trips = 0;     // zombie executions cut short
 
+  // --- QR-Q (queued speculative batching) ---
+  std::uint64_t batches_committed = 0;     // batch 2PC rounds that committed
+  std::uint64_t speculation_rollbacks = 0; // batch rounds aborted + re-run
+  std::uint64_t batch_read_hits = 0;       // reads served from the batch cache
+
   // --- QR-ON (open nesting extension) ---
   // --- recovery (churn experiments) ---
   std::uint64_t node_recoveries = 0;  // replicas that completed catch-up
@@ -45,8 +50,12 @@ struct Metrics {
   std::uint64_t read_messages = 0;
   std::uint64_t commit_messages = 0;
 
+  /// Every event that discarded work and restarted it.  QR-Q's unit of
+  /// abort is a batch 2PC round (one speculation_rollback discards the
+  /// whole batch's speculative state), mirroring how a flat abort discards
+  /// one transaction's attempt.
   std::uint64_t total_aborts() const {
-    return root_aborts + ct_aborts + partial_rollbacks;
+    return root_aborts + ct_aborts + partial_rollbacks + speculation_rollbacks;
   }
   std::uint64_t total_messages() const {
     return read_messages + commit_messages + lock_messages;

@@ -39,6 +39,25 @@ QrServer::QrServer(net::RpcEndpoint& rpc) : rpc_(rpc), id_(rpc.id()) {
         handle_commit_confirm(CommitConfirm::decode(b));
         return std::nullopt;  // one-way
       });
+  rpc.register_service(
+      msg::kBatchCommitRequest,
+      [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+        BatchVoteResponse vote =
+            handle_batch_commit_request(BatchCommitRequest::decode(b));
+        if (tracer_ != nullptr) {
+          tracer_->instant(TraceKind::kServerVote, id_, rpc_.inbound_trace(),
+                           rpc_.simulator().now(), vote.commit ? 1 : 0);
+        }
+        Writer w(rpc_.acquire_buffer(msg::kBatchCommitRequest));
+        vote.encode_into(w);
+        return std::move(w).take();
+      });
+  rpc.register_service(
+      msg::kBatchCommitConfirm,
+      [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+        handle_batch_commit_confirm(BatchCommitConfirm::decode(b));
+        return std::nullopt;  // one-way
+      });
   rpc.register_service(msg::kSyncPull,
                        [this](net::NodeId, const Bytes&) -> std::optional<Bytes> {
                          SyncPullResponse resp = handle_sync_pull();
@@ -82,7 +101,11 @@ bool QrServer::check_protected(ObjectId id, TxnId txn) {
 }
 
 std::optional<ReadResponse> QrServer::validate(const ReadRequest& req) {
-  if (req.mode == NestingMode::kFlat) return std::nullopt;  // no Rqv in QR
+  // No Rqv under flat QR; QR-Q also ships no data-set (batch-cache reads are
+  // validated wholesale at the batch vote).
+  if (req.mode == NestingMode::kFlat || req.mode == NestingMode::kQueued) {
+    return std::nullopt;
+  }
 
   // Closed nesting: the shallowest invalid owner must abort (Alg. 1).
   bool any_invalid = false;
@@ -149,8 +172,11 @@ ReadResponse QrServer::handle_read(const ReadRequest& req) {
   // requester a doomed version, so report a conflict instead (the same rule
   // Alg. 1 applies to data-set entries).  Flat QR has no read-time conflict
   // detection: it serves the current (old) copy and lets the commit-time
-  // validation catch the conflict.
-  if (req.mode != NestingMode::kFlat &&
+  // validation catch the conflict.  QR-Q reads behave like flat -- conflicts
+  // surface at the batch vote, where the stale-id reply triggers a targeted
+  // re-fetch instead of a read-time abort.
+  if ((req.mode == NestingMode::kClosed ||
+       req.mode == NestingMode::kCheckpoint) &&
       check_protected(req.object, req.root)) {
     ReadResponse abort;
     abort.status = ReadStatus::kAbort;
@@ -217,6 +243,60 @@ VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
     }
   }
   return VoteResponse{.commit = true};
+}
+
+BatchVoteResponse QrServer::handle_batch_commit_request(
+    const BatchCommitRequest& req) {
+  // Same rule as the per-transaction vote: a syncing replica's versions are
+  // untrustworthy, so abort with no stale report (the coordinator refetches
+  // everything when a vote carries no diagnosis).
+  if (syncing_) return BatchVoteResponse{.commit = false, .stale = {}};
+
+  BatchVoteResponse resp{.commit = true, .stale = {}};
+  // The test-only bypass votes commit unconditionally and takes no
+  // protections, exactly like the per-transaction path: the broken protocol
+  // must fail by committing conflicting batches, not by crashing a replica.
+  if (!skip_commit_validation_) {
+    for (const CommitReadEntry& e : req.readset) {
+      if (e.version < store_.version_of(e.id) ||
+          check_protected(e.id, req.batch)) {
+        resp.commit = false;
+        resp.stale.push_back(e.id);
+      }
+    }
+    for (const BatchWriteEntry& e : req.writeset) {
+      if (e.base < store_.version_of(e.id) ||
+          check_protected(e.id, req.batch)) {
+        resp.commit = false;
+        resp.stale.push_back(e.id);
+      }
+    }
+    if (resp.commit) {
+      for (const BatchWriteEntry& e : req.writeset) {
+        store_.protect(e.id, req.batch, rpc_.simulator().now());
+      }
+    }
+  }
+  return resp;
+}
+
+void QrServer::handle_batch_commit_confirm(const BatchCommitConfirm& confirm) {
+  if (confirm.commit) {
+    for (const BatchWriteEntry& e : confirm.writeset) {
+      // The batch read `base` through a read quorum (fresh by Q1) and
+      // absorbed `steps` speculative writes in queue order; every
+      // write-quorum member converges on base+steps with the final value.
+      // The intermediate versions exist only in the recorded history, where
+      // the checker certifies them as a serial chain.
+      store_.unprotect(e.id, confirm.batch);
+      store_.apply(e.id, e.base + e.steps, e.data);
+    }
+  } else {
+    for (const BatchWriteEntry& e : confirm.writeset) {
+      store_.unprotect(e.id, confirm.batch);
+    }
+  }
+  store_.drop_txn(confirm.batch);
 }
 
 void QrServer::handle_commit_confirm(const CommitConfirm& confirm) {

@@ -78,6 +78,12 @@ class QrServer {
   VoteResponse handle_commit_request(const CommitRequest& req);
   void handle_commit_confirm(const CommitConfirm& confirm);
 
+  /// QR-Q batch 2PC: validate every read base and write base like the
+  /// per-transaction vote, but report the ids that failed so the
+  /// coordinator can re-fetch only the stale queues.
+  BatchVoteResponse handle_batch_commit_request(const BatchCommitRequest& req);
+  void handle_batch_commit_confirm(const BatchCommitConfirm& confirm);
+
   /// Rqv (Alg. 1 + Alg. 4): returns an abort-carrying response when any
   /// data-set entry is invalid on this replica, nullopt when valid.
   std::optional<ReadResponse> validate(const ReadRequest& req);

@@ -61,6 +61,7 @@ const KindInfo& kind_info(TraceKind k) {
       {"server_read", "server", "abort", nullptr},   // kServerRead
       {"server_vote", "server", "commit", nullptr},  // kServerVote
       {"abort", "retry", nullptr, nullptr},          // kAbort
+      {"batch", "batch", "size", "attempts"},        // kBatch
   };
   return kTable[static_cast<std::size_t>(k)];
 }

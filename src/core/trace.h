@@ -103,19 +103,25 @@ class LatencyHistogram {
   sim::Tick max_ = 0;
 };
 
-/// The four distributions every runtime tracks (per node in the QR family,
-/// per cluster in the baselines).
+/// The distributions every runtime tracks (per node in the QR family, per
+/// cluster in the baselines).  The two batch histograms are only populated
+/// under kQueued; `batch_size` records transaction counts, not ticks (the
+/// bucket scheme is unit-agnostic).
 struct LatencyMetrics {
   LatencyHistogram commit_latency;  // root txn start -> commit done
   LatencyHistogram read_rtt;        // read-quorum fetch round trip
   LatencyHistogram backoff_wait;    // drawn root-retry backoff waits
   LatencyHistogram retry_gap;       // root abort -> next attempt starts
+  LatencyHistogram batch_size;      // QR-Q: transactions per committed batch
+  LatencyHistogram batch_wait;      // QR-Q: enqueue -> batch execution start
 
   void merge(const LatencyMetrics& o) {
     commit_latency.merge(o.commit_latency);
     read_rtt.merge(o.read_rtt);
     backoff_wait.merge(o.backoff_wait);
     retry_gap.merge(o.retry_gap);
+    batch_size.merge(o.batch_size);
+    batch_wait.merge(o.batch_wait);
   }
 
   bool operator==(const LatencyMetrics&) const = default;
@@ -136,6 +142,8 @@ enum class TraceKind : std::uint8_t {
   kServerRead,   // instant: replica served/validated a read
   kServerVote,   // instant: replica voted on a commit request
   kAbort,        // instant: root abort decided
+  kBatch,        // QR-Q batch: execution start -> commit (a0 = size,
+                 // a1 = 2PC attempts)
 };
 
 struct TraceSpan {

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/backoff.h"
+#include "core/batch.h"
 #include "core/history.h"
 
 namespace qrdtm::core {
@@ -86,9 +87,13 @@ sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
 
   // Encode straight from the root's materialised data-set into a pooled
   // buffer: no ReadRequest struct, no per-fetch data-set rebuild.
+  // Only the Rqv modes ship the data-set; flat QR and QR-Q validate at
+  // commit time (per transaction and per batch respectively).
   static const std::vector<DataSetEntry> kNoDataSet;
   const std::vector<DataSetEntry>& ds =
-      cfg.mode != NestingMode::kFlat ? dataset() : kNoDataSet;
+      cfg.mode == NestingMode::kClosed || cfg.mode == NestingMode::kCheckpoint
+          ? dataset()
+          : kNoDataSet;
   Writer w(rt_.rpc_.acquire_buffer(msg::kRead));
   encode_read_request(w, r.scope_id_, cfg.mode, id, for_write, ds);
 
@@ -192,6 +197,23 @@ sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
   co_return best;
 }
 
+sim::Task<ObjectCopy> Txn::acquire_copy(ObjectId id, bool for_write) {
+  BatchPlanner* bp = root().batch_;
+  if (bp != nullptr) {
+    ObjectCopy cached;
+    if (bp->lookup(id, &cached)) {
+      // Served at the speculative head: one quorum fetch covers every later
+      // touch of this object by any batch member.
+      ++rt_.metrics().batch_read_hits;
+      co_return cached;
+    }
+    ObjectCopy c = co_await quorum_fetch(id, for_write);
+    bp->admit(c);
+    co_return c;
+  }
+  co_return co_await quorum_fetch(id, for_write);
+}
+
 sim::Task<void> Txn::after_fetch_chk() {
   Txn& r = root();
   if (++r.objs_since_chk_ < rt_.config().chk_threshold) co_return;
@@ -237,7 +259,7 @@ sim::Task<Bytes> Txn::read(ObjectId id) {
     log_op(op, c->copy.data, store::kNullObject);
     co_return c->copy.data;
   }
-  ObjectCopy c = co_await quorum_fetch(id, /*for_write=*/false);
+  ObjectCopy c = co_await acquire_copy(id, /*for_write=*/false);
   Bytes data = c.data;
   const Version ver = c.version;
   const ChkEpoch chk = root().epoch_;
@@ -283,7 +305,7 @@ sim::Task<Bytes> Txn::read_for_write(ObjectId id) {
     writeset_[id] = std::move(mine);
     co_return data;
   }
-  ObjectCopy c = co_await quorum_fetch(id, /*for_write=*/true);
+  ObjectCopy c = co_await acquire_copy(id, /*for_write=*/true);
   Bytes data = c.data;
   const Version ver = c.version;
   const ChkEpoch chk = root().epoch_;
@@ -393,6 +415,8 @@ sim::Task<void> Txn::open_nested(OpenOp op) {
                   "open_nested is only valid at root depth");
   QRDTM_CHECK_MSG(rt_.config().mode != NestingMode::kCheckpoint,
                   "open nesting cannot compose with checkpoint replay");
+  QRDTM_CHECK_MSG(rt_.config().mode != NestingMode::kQueued,
+                  "open nesting cannot compose with batched speculation");
   // Deterministic per-operation lock order; cross-operation cycles are
   // broken by acquire_abstract_lock's bounded retries (root abort +
   // compensation).
@@ -520,7 +544,13 @@ TxnRuntime::TxnRuntime(net::RpcEndpoint& rpc, quorum::QuorumProvider& quorums,
       rng_(seed),
       // Scope ids are node-prefixed so ids never collide across nodes; id 0
       // is reserved as the "current scope" sentinel in abort replies.
-      next_scope_id_((static_cast<TxnId>(rpc.id()) + 1) << 40) {}
+      next_scope_id_((static_cast<TxnId>(rpc.id()) + 1) << 40) {
+  if (config_.mode == NestingMode::kQueued) {
+    planner_ = std::make_unique<BatchPlanner>(*this);
+  }
+}
+
+TxnRuntime::~TxnRuntime() = default;
 
 const std::vector<net::NodeId>& TxnRuntime::read_quorum() {
   const std::uint64_t g = quorums_.generation();
@@ -553,6 +583,13 @@ sim::Task<void> TxnRuntime::run_transaction(TxnBody body) {
 sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
                                          std::uint32_t max_attempts,
                                          bool count_commit) {
+  if (config_.mode == NestingMode::kQueued) {
+    // QR-Q: hand the body to the batch planner; it executes as a member of
+    // a speculative batch and commits through the batch 2PC round.
+    QRDTM_CHECK_MSG(count_commit,
+                    "open-nested side transactions cannot run under kQueued");
+    co_return co_await planner_->submit(std::move(body), max_attempts);
+  }
   Txn root(*this, nullptr);
   const sim::Tick txn_start = simulator().now();
   std::uint32_t attempt = 0;

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -95,8 +96,17 @@ struct RuntimeConfig {
   /// QR-ON: abstract-lock acquisition attempts before the root aborts (and
   /// compensates) to break potential cross-root lock-order cycles.
   std::uint32_t max_lock_attempts = 8;
+  /// QR-Q (kQueued): batch formation window -- how long the planner waits
+  /// after the first enqueue for concurrent submitters on the node to join
+  /// the batch.  Roughly one quorum round trip amortizes best: the batch
+  /// saves more fetches than the wait costs.
+  sim::Tick batch_window = sim::msec(10);
+  /// QR-Q: transactions per batch cap (bounds speculative state and the
+  /// blast radius of one rollback).
+  std::uint32_t batch_max_txns = 32;
 };
 
+class BatchPlanner;
 class Txn;
 class TxnRuntime;
 
@@ -194,6 +204,7 @@ class Txn {
 
  private:
   friend class TxnRuntime;
+  friend class BatchPlanner;
 
   struct Snapshot {
     ChkEpoch epoch = 0;
@@ -252,6 +263,11 @@ class Txn {
   /// Fetch from the read quorum with Rqv; inserts into this scope's set.
   sim::Task<ObjectCopy> quorum_fetch(ObjectId id, bool for_write);
 
+  /// quorum_fetch with the QR-Q batch cache in front: under kQueued the
+  /// root's planner serves repeat touches locally at the speculative head
+  /// and admits first touches after their (single) quorum fetch.
+  sim::Task<ObjectCopy> acquire_copy(ObjectId id, bool for_write);
+
   /// QR-CHK: bump counters after a fetch and create a checkpoint when the
   /// threshold is crossed.
   sim::Task<void> after_fetch_chk();
@@ -285,6 +301,9 @@ class Txn {
   std::size_t dataset_mark_ = 0;
 
   // --- root-only state ---
+  /// QR-Q: set by the BatchPlanner while this root executes as a batch
+  /// member; routes acquire_copy through the batch queue cache.
+  BatchPlanner* batch_ = nullptr;
   /// Materialised Rqv data-set: one entry per set insertion anywhere in the
   /// scope tree, appended on fetch/create, owner-patched on CT merge, and
   /// truncated on scope abort / checkpoint rollback.  Entry order differs
@@ -316,8 +335,11 @@ class TxnRuntime {
  public:
   TxnRuntime(net::RpcEndpoint& rpc, quorum::QuorumProvider& quorums,
              Metrics& metrics, RuntimeConfig config, std::uint64_t seed);
+  ~TxnRuntime();
 
   /// Execute `body` as one root transaction, retrying until it commits.
+  /// Under kQueued the body is enqueued with this node's batch planner and
+  /// commits as part of a speculative batch.
   sim::Task<void> run_transaction(TxnBody body);
 
   /// Execute and give up after `max_attempts` full aborts (0 = unlimited).
@@ -359,8 +381,12 @@ class TxnRuntime {
   /// Allocate a globally unique object id (node-prefixed, no coordination).
   ObjectId allocate_object_id();
 
+  /// QR-Q batch planner (nullptr unless config.mode == kQueued).
+  BatchPlanner* planner() { return planner_.get(); }
+
  private:
   friend class Txn;
+  friend class BatchPlanner;
 
   TxnId next_scope_id() { return next_scope_id_++; }
 
@@ -406,6 +432,7 @@ class TxnRuntime {
   net::RpcEndpoint& rpc_;
   quorum::QuorumProvider& quorums_;
   Metrics& metrics_;
+  std::unique_ptr<BatchPlanner> planner_;  // kQueued only
   FailureDetector* failure_detector_ = nullptr;
   HistoryRecorder* recorder_ = nullptr;
   TraceRecorder* tracer_ = nullptr;

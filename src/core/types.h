@@ -19,6 +19,7 @@ enum class NestingMode : std::uint8_t {
   kFlat = 0,    // QR: conflicts detected at commit; full abort
   kClosed = 1,  // QR-CN: Rqv + closed nested transactions (partial abort)
   kCheckpoint = 2,  // QR-CHK: Rqv + automatic checkpoints (partial rollback)
+  kQueued = 3,  // QR-Q: queue-ordered speculative batch commit (Q-Store style)
 };
 
 inline const char* to_string(NestingMode m) {
@@ -29,6 +30,8 @@ inline const char* to_string(NestingMode m) {
       return "closed";
     case NestingMode::kCheckpoint:
       return "checkpoint";
+    case NestingMode::kQueued:
+      return "queued";
   }
   return "?";
 }

@@ -18,6 +18,30 @@ std::size_t writeset_bytes(const std::vector<CommitWriteEntry>& ws) {
   return n;
 }
 
+constexpr std::size_t kBatchWriteHeader = 8 + 8 + 4 + 4;  // + data
+
+std::size_t batch_writeset_bytes(const std::vector<BatchWriteEntry>& ws) {
+  std::size_t n = 4;
+  for (const BatchWriteEntry& e : ws) n += kBatchWriteHeader + e.data.size();
+  return n;
+}
+
+void encode_batch_write(Writer& w, const BatchWriteEntry& e) {
+  w.u64(e.id);
+  w.u64(e.base);
+  w.u32(e.steps);
+  w.blob(e.data);
+}
+
+BatchWriteEntry decode_batch_write(Reader& r) {
+  BatchWriteEntry e;
+  e.id = r.u64();
+  e.base = r.u64();
+  e.steps = r.u32();
+  e.data = r.blob();
+  return e;
+}
+
 void encode_entry(Writer& w, const DataSetEntry& e) {
   w.u64(e.id);
   w.u64(e.version);
@@ -189,6 +213,82 @@ SyncPullResponse SyncPullResponse::decode(const Bytes& b) {
   });
   r.expect_done();
   return resp;
+}
+
+void BatchCommitRequest::encode_into(Writer& w) const {
+  w.reserve(w.size() + 8 + 4 + readset.size() * kReadEntryBytes +
+            batch_writeset_bytes(writeset));
+  w.u64(batch);
+  encode_vec(w, readset, [](Writer& w2, const CommitReadEntry& e) {
+    w2.u64(e.id);
+    w2.u64(e.version);
+  });
+  encode_vec(w, writeset, encode_batch_write);
+}
+
+Bytes BatchCommitRequest::encode() const {
+  Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+BatchCommitRequest BatchCommitRequest::decode(const Bytes& b) {
+  Reader r(b);
+  BatchCommitRequest req;
+  req.batch = r.u64();
+  req.readset = decode_vec<CommitReadEntry>(r, [](Reader& r2) {
+    CommitReadEntry e;
+    e.id = r2.u64();
+    e.version = r2.u64();
+    return e;
+  });
+  req.writeset = decode_vec<BatchWriteEntry>(r, decode_batch_write);
+  r.expect_done();
+  return req;
+}
+
+void BatchVoteResponse::encode_into(Writer& w) const {
+  w.reserve(w.size() + 1 + 4 + stale.size() * 8);
+  w.boolean(commit);
+  encode_vec(w, stale, [](Writer& w2, ObjectId id) { w2.u64(id); });
+}
+
+Bytes BatchVoteResponse::encode() const {
+  Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+BatchVoteResponse BatchVoteResponse::decode(const Bytes& b) {
+  Reader r(b);
+  BatchVoteResponse v;
+  v.commit = r.boolean();
+  v.stale = decode_vec<ObjectId>(r, [](Reader& r2) { return r2.u64(); });
+  r.expect_done();
+  return v;
+}
+
+void BatchCommitConfirm::encode_into(Writer& w) const {
+  w.reserve(w.size() + 8 + 1 + batch_writeset_bytes(writeset));
+  w.u64(batch);
+  w.boolean(commit);
+  encode_vec(w, writeset, encode_batch_write);
+}
+
+Bytes BatchCommitConfirm::encode() const {
+  Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+BatchCommitConfirm BatchCommitConfirm::decode(const Bytes& b) {
+  Reader r(b);
+  BatchCommitConfirm c;
+  c.batch = r.u64();
+  c.commit = r.boolean();
+  c.writeset = decode_vec<BatchWriteEntry>(r, decode_batch_write);
+  r.expect_done();
+  return c;
 }
 
 void CommitConfirm::encode_into(Writer& w) const {

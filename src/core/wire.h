@@ -23,6 +23,8 @@ constexpr net::MsgKind kRead = 0x0101;
 constexpr net::MsgKind kCommitRequest = 0x0102;
 constexpr net::MsgKind kCommitConfirm = 0x0103;  // one-way, commit or abort
 constexpr net::MsgKind kSyncPull = 0x0104;       // recovery anti-entropy
+constexpr net::MsgKind kBatchCommitRequest = 0x0105;  // QR-Q: batch 2PC vote
+constexpr net::MsgKind kBatchCommitConfirm = 0x0106;  // QR-Q: one-way confirm
 }  // namespace msg
 
 /// One validated object in the requester's data-set.
@@ -131,6 +133,58 @@ struct SyncPullResponse {
   Bytes encode() const;
   void encode_into(Writer& w) const;
   static SyncPullResponse decode(const Bytes& b);
+};
+
+/// One collapsed per-object queue in a QR-Q batch commit: the batch read
+/// `base` through a read quorum and speculatively absorbed `steps` writes,
+/// of which `data` is the final value.  The replica validates `base` like a
+/// CommitWriteEntry and applies version base+steps at confirm -- one wire
+/// entry and one protection per object regardless of how many transactions
+/// in the batch wrote it.
+struct BatchWriteEntry {
+  ObjectId id = 0;
+  Version base = 0;
+  std::uint32_t steps = 0;  // speculative writes absorbed (>= 1)
+  Bytes data;               // value after the last write in queue order
+};
+
+/// QR-Q batch 2PC vote request: one protected write-set push for the whole
+/// batch.  `readset` holds objects the batch only read (one entry per
+/// object, at the quorum-fetched base version); written objects are
+/// validated through their BatchWriteEntry base.
+struct BatchCommitRequest {
+  TxnId batch = 0;  // batch id (protection/bookkeeping key, like a txn id)
+  std::vector<CommitReadEntry> readset;
+  std::vector<BatchWriteEntry> writeset;
+
+  Bytes encode() const;
+  void encode_into(Writer& w) const;
+  static BatchCommitRequest decode(const Bytes& b);
+};
+
+/// Reply to a batch vote.  On an abort vote `stale` names every entry that
+/// failed validation on this replica, so the coordinator invalidates (and
+/// re-fetches) only those queues before re-speculating -- the targeted
+/// rollback that keeps QR-Q's retry cost near zero under contention.
+struct BatchVoteResponse {
+  bool commit = false;
+  std::vector<ObjectId> stale;
+
+  Bytes encode() const;
+  void encode_into(Writer& w) const;
+  static BatchVoteResponse decode(const Bytes& b);
+};
+
+/// One-way confirm for a batch commit round; applies base+steps per object
+/// (commit) or just unprotects (abort).
+struct BatchCommitConfirm {
+  TxnId batch = 0;
+  bool commit = false;
+  std::vector<BatchWriteEntry> writeset;
+
+  Bytes encode() const;
+  void encode_into(Writer& w) const;
+  static BatchCommitConfirm decode(const Bytes& b);
 };
 
 /// One-way confirm broadcast to the write quorum after gathering votes.

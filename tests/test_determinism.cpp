@@ -28,6 +28,9 @@ struct Golden {
   std::uint64_t partial_rollbacks;
   std::uint64_t read_messages;
   std::uint64_t commit_messages;
+  // QR-Q only (0 for the per-transaction modes).
+  std::uint64_t speculation_rollbacks = 0;
+  std::uint64_t batches = 0;
 };
 
 ExperimentConfig config_for(const char* app, core::NestingMode mode) {
@@ -41,6 +44,9 @@ ExperimentConfig config_for(const char* app, core::NestingMode mode) {
   cfg.clients = 8;
   cfg.seed = 42;
   cfg.duration = sim::sec(5);
+  // QR-Q batches only form with several clients per node: co-locate so the
+  // goldens pin the interesting (multi-member batch) code path.
+  if (mode == core::NestingMode::kQueued) cfg.client_nodes = 2;
   return cfg;
 }
 
@@ -55,6 +61,10 @@ constexpr Golden kGolden[] = {
     {"slist", core::NestingMode::kFlat, 23, 33, 0, 0, 2486, 784},
     {"slist", core::NestingMode::kClosed, 26, 30, 27, 0, 2562, 322},
     {"slist", core::NestingMode::kCheckpoint, 18, 1, 0, 43, 1774, 266},
+    // QR-Q rows recorded when the mode landed (batch planner, seeded batch
+    // order, batched 2PC): the trailing columns pin the batch round counts.
+    {"bank", core::NestingMode::kQueued, 40, 0, 0, 0, 590, 308, 11, 10},
+    {"slist", core::NestingMode::kQueued, 20, 0, 0, 0, 640, 126, 4, 5},
 };
 
 class DeterminismGolden : public ::testing::TestWithParam<Golden> {};
@@ -67,17 +77,20 @@ TEST_P(DeterminismGolden, MatchesGoldenAndRepeats) {
 
   // Print in golden-row form so re-recording is copy-paste.
   std::printf("GOLDEN {\"%s\", core::NestingMode::%s, %llu, %llu, %llu, "
-              "%llu, %llu, %llu},\n",
+              "%llu, %llu, %llu, %llu, %llu},\n",
               g.app,
-              g.mode == core::NestingMode::kFlat       ? "kFlat"
-              : g.mode == core::NestingMode::kClosed   ? "kClosed"
-                                                       : "kCheckpoint",
+              g.mode == core::NestingMode::kFlat         ? "kFlat"
+              : g.mode == core::NestingMode::kClosed     ? "kClosed"
+              : g.mode == core::NestingMode::kCheckpoint ? "kCheckpoint"
+                                                         : "kQueued",
               static_cast<unsigned long long>(a.commits),
               static_cast<unsigned long long>(a.root_aborts),
               static_cast<unsigned long long>(a.ct_aborts),
               static_cast<unsigned long long>(a.partial_rollbacks),
               static_cast<unsigned long long>(a.read_messages),
-              static_cast<unsigned long long>(a.commit_messages));
+              static_cast<unsigned long long>(a.commit_messages),
+              static_cast<unsigned long long>(a.speculation_rollbacks),
+              static_cast<unsigned long long>(a.batches));
 
   // Same seed => identical counts across two runs in this build.
   EXPECT_EQ(a.commits, b.commits);
@@ -86,6 +99,8 @@ TEST_P(DeterminismGolden, MatchesGoldenAndRepeats) {
   EXPECT_EQ(a.partial_rollbacks, b.partial_rollbacks);
   EXPECT_EQ(a.read_messages, b.read_messages);
   EXPECT_EQ(a.commit_messages, b.commit_messages);
+  EXPECT_EQ(a.speculation_rollbacks, b.speculation_rollbacks);
+  EXPECT_EQ(a.batches, b.batches);
   EXPECT_TRUE(a.invariants_ok);
 
   // ... and identical to the checked-in pre-refactor kernel.
@@ -95,6 +110,8 @@ TEST_P(DeterminismGolden, MatchesGoldenAndRepeats) {
   EXPECT_EQ(a.partial_rollbacks, g.partial_rollbacks);
   EXPECT_EQ(a.read_messages, g.read_messages);
   EXPECT_EQ(a.commit_messages, g.commit_messages);
+  EXPECT_EQ(a.speculation_rollbacks, g.speculation_rollbacks);
+  EXPECT_EQ(a.batches, g.batches);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModes, DeterminismGolden,

@@ -74,6 +74,8 @@ const char* mode_name(core::NestingMode m) {
       return "closed";
     case core::NestingMode::kCheckpoint:
       return "checkpoint";
+    case core::NestingMode::kQueued:
+      return "queued";
   }
   return "?";
 }
@@ -486,7 +488,8 @@ struct Options {
   std::vector<std::string> protocols = {"qr", "tfa", "decent"};
   std::vector<core::NestingMode> modes = {core::NestingMode::kFlat,
                                           core::NestingMode::kClosed,
-                                          core::NestingMode::kCheckpoint};
+                                          core::NestingMode::kCheckpoint,
+                                          core::NestingMode::kQueued};
   std::vector<std::string> apps = {"bank", "vacation"};
   bool break_validation = false;
   std::string repro;  // proto:mode:app:seed:sched
@@ -503,13 +506,15 @@ void usage() {
       "                      3 = kill/rejoin churn + partitions)\n"
       "  --txns N            transactions per client (default 6)\n"
       "  --protocols CSV     subset of qr,tfa,decent\n"
-      "  --modes CSV         subset of flat,closed,checkpoint (qr only)\n"
+      "  --modes CSV         subset of flat,closed,checkpoint,queued "
+      "(qr only)\n"
       "  --apps CSV          subset of bank,vacation (qr only)\n"
       "  --trace-dir DIR     where counterexample traces are written\n"
       "  --repro SPEC        run one combo: proto:mode:app:seed:sched\n"
-      "  --break-validation  disable replica commit validation (flat QR)\n"
-      "                      and require the checker to catch the bug;\n"
-      "                      exit 0 iff it does\n");
+      "  --break-validation  disable replica commit validation and require\n"
+      "                      the checker to catch the bug under both the\n"
+      "                      per-transaction (flat) and batched (queued)\n"
+      "                      commit paths; exit 0 iff it catches both\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s, char sep = ',') {
@@ -534,6 +539,8 @@ bool parse_mode(const std::string& s, core::NestingMode& out) {
     out = core::NestingMode::kClosed;
   } else if (s == "checkpoint" || s == "chk") {
     out = core::NestingMode::kCheckpoint;
+  } else if (s == "queued") {
+    out = core::NestingMode::kQueued;
   } else {
     return false;
   }
@@ -668,21 +675,40 @@ int main(int argc, char** argv) {
     if (c.break_validation) c.num_objects = 4;
     combos.push_back(c);
   } else if (opt.break_validation) {
-    // Focused detection run: flat QR, high contention, no chaos needed --
-    // the protocol itself is broken, the checker must see it.
-    ComboSpec base;
-    base.protocol = "qr";
-    base.mode = core::NestingMode::kFlat;
-    base.app = "bank";
-    base.txns_per_client = opt.txns > 6 ? opt.txns : 8;
-    base.num_objects = 4;
-    base.break_validation = true;
-    const std::uint32_t seeds = opt.seeds < 4 ? opt.seeds : 4;
-    for (std::uint32_t s = 0; s < seeds; ++s) {
-      ComboSpec c = base;
-      c.seed = opt.seed_base + s;
-      combos.push_back(c);
+    // Focused detection run: high contention, no chaos needed -- the
+    // protocol itself is broken, the checker must see it.  The bug is
+    // injected into both commit paths (per-transaction flat votes and
+    // batched queued votes); it must be caught under each, since a checker
+    // blind to one path would silently certify its broken histories.
+    bool all_caught = true;
+    for (core::NestingMode mode :
+         {core::NestingMode::kFlat, core::NestingMode::kQueued}) {
+      ComboSpec base;
+      base.protocol = "qr";
+      base.mode = mode;
+      base.app = "bank";
+      base.txns_per_client = opt.txns > 6 ? opt.txns : 8;
+      base.num_objects = 4;
+      base.break_validation = true;
+      bool caught = false;
+      const std::uint32_t seeds = opt.seeds < 4 ? opt.seeds : 4;
+      std::size_t mode_ran = 0;
+      for (std::uint32_t s = 0; s < seeds && !caught; ++s) {
+        ComboSpec c = base;
+        c.seed = opt.seed_base + s;
+        ComboResult res = run_combo(c);
+        ++mode_ran;
+        if (res.violation) {
+          report_failure(c, std::move(res), opt);
+          caught = true;  // one caught counterexample per path suffices
+        }
+      }
+      std::printf("fuzz: checker %s the injected validation bug under %s "
+                  "(%zu combos)\n",
+                  caught ? "caught" : "MISSED", mode_name(mode), mode_ran);
+      all_caught = all_caught && caught;
     }
+    return all_caught ? 0 : 1;
   } else {
     for (const std::string& proto : opt.protocols) {
       if (proto == "qr") {

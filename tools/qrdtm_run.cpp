@@ -23,7 +23,7 @@ void usage() {
       "usage: qrdtm_run [options]\n"
       "  --app NAME        bank|hashmap|slist|rbtree|bst|vacation "
       "(default bank)\n"
-      "  --mode MODE       flat|closed|checkpoint (default flat)\n"
+      "  --mode MODE       flat|closed|checkpoint|queued (default flat)\n"
       "  --nodes N         cluster size (default 13)\n"
       "  --clients N       closed-loop clients (default 8)\n"
       "  --reads F         read ratio 0..1 (default 0.2)\n"
@@ -35,6 +35,11 @@ void usage() {
       "  --read-level N    tree read level (default 1)\n"
       "  --failures N      fail-stops before the run (default 0)\n"
       "  --chk-threshold N objects per checkpoint (default 1)\n"
+      "  --batch-window MS queued-mode batch formation window (default 10)\n"
+      "  --batch-max N     queued-mode max transactions per batch "
+      "(default 32)\n"
+      "  --client-nodes N  co-locate clients on the first N nodes\n"
+      "                    (default 0 = spread round-robin over all nodes)\n"
       "  --bench-json PATH write machine-readable perf results (JSON)\n"
       "  --metrics-json PATH write per-node + aggregate latency histograms\n"
       "                    (p50/p90/p99 of commit latency, read RTT,\n"
@@ -64,6 +69,8 @@ bool parse(int argc, char** argv, ExperimentConfig& cfg,
         cfg.mode = core::NestingMode::kClosed;
       } else if (val == "checkpoint" || val == "chk") {
         cfg.mode = core::NestingMode::kCheckpoint;
+      } else if (val == "queued") {
+        cfg.mode = core::NestingMode::kQueued;
       } else {
         std::fprintf(stderr, "unknown mode %s\n", val.c_str());
         return false;
@@ -102,6 +109,12 @@ bool parse(int argc, char** argv, ExperimentConfig& cfg,
       cfg.failures = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--chk-threshold") {
       cfg.chk_threshold = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--batch-window") {
+      cfg.batch_window = sim::msec(std::atof(val.c_str()));
+    } else if (flag == "--batch-max") {
+      cfg.batch_max_txns = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--client-nodes") {
+      cfg.client_nodes = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--bench-json") {
       bench_json = val;
     } else if (flag == "--metrics-json") {
@@ -175,12 +188,31 @@ void write_histogram_json(std::FILE* f, const char* name,
                sim::to_seconds(h.max()) * 1e3, last ? "" : ",");
 }
 
+// batch_size holds raw transaction counts, not ticks: emit the values
+// unscaled instead of pretending they are durations.
+void write_count_histogram_json(std::FILE* f, const char* name,
+                                const core::LatencyHistogram& h,
+                                const char* indent, bool last) {
+  std::fprintf(f,
+               "%s\"%s\": {\"count\": %llu, \"mean\": %.3f, "
+               "\"min\": %llu, \"p50\": %llu, \"p90\": %llu, "
+               "\"p99\": %llu, \"max\": %llu}%s\n",
+               indent, name, static_cast<unsigned long long>(h.count()),
+               h.mean(), static_cast<unsigned long long>(h.min()),
+               static_cast<unsigned long long>(h.percentile(50)),
+               static_cast<unsigned long long>(h.percentile(90)),
+               static_cast<unsigned long long>(h.percentile(99)),
+               static_cast<unsigned long long>(h.max()), last ? "" : ",");
+}
+
 void write_latency_json(std::FILE* f, const core::LatencyMetrics& m,
                         const char* indent) {
   write_histogram_json(f, "commit_latency", m.commit_latency, indent, false);
   write_histogram_json(f, "read_rtt", m.read_rtt, indent, false);
   write_histogram_json(f, "backoff_wait", m.backoff_wait, indent, false);
-  write_histogram_json(f, "retry_gap", m.retry_gap, indent, true);
+  write_histogram_json(f, "retry_gap", m.retry_gap, indent, false);
+  write_histogram_json(f, "batch_wait", m.batch_wait, indent, false);
+  write_count_histogram_json(f, "batch_size", m.batch_size, indent, true);
 }
 
 /// Latency snapshot: aggregate (cluster-merged) and per-node histograms for
@@ -191,7 +223,15 @@ bool write_metrics_json(const std::string& path, const ExperimentResult& r) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"protocol\": \"qr\",\n  \"aggregate\": {\n");
+  std::fprintf(f,
+               "{\n  \"protocol\": \"qr\",\n"
+               "  \"batches_committed\": %llu,\n"
+               "  \"speculation_rollbacks\": %llu,\n"
+               "  \"batch_read_hits\": %llu,\n"
+               "  \"aggregate\": {\n",
+               static_cast<unsigned long long>(r.batches),
+               static_cast<unsigned long long>(r.speculation_rollbacks),
+               static_cast<unsigned long long>(r.batch_read_hits));
   write_latency_json(f, r.latency, "    ");
   std::fprintf(f, "  },\n  \"nodes\": [\n");
   for (std::size_t n = 0; n < r.node_latency.size(); ++n) {
@@ -242,6 +282,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.checkpoints));
   std::printf("vote aborts       %10llu\n",
               static_cast<unsigned long long>(r.vote_aborts));
+  std::printf("batches committed %10llu\n",
+              static_cast<unsigned long long>(r.batches));
+  std::printf("spec. rollbacks   %10llu\n",
+              static_cast<unsigned long long>(r.speculation_rollbacks));
+  std::printf("batch read hits   %10llu\n",
+              static_cast<unsigned long long>(r.batch_read_hits));
   std::printf("rqv failures      %10llu\n",
               static_cast<unsigned long long>(r.validation_failures));
   std::printf("read messages     %10llu\n",
