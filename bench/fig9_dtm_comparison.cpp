@@ -104,6 +104,9 @@ SystemPoint run_tfa(std::uint32_t nodes, double ratio, std::uint64_t seed) {
   for (std::uint32_t n = 0; n < nodes; ++n) {
     c.spawn_loop_client(n, [&, ratio](Rng& rng) -> baselines::TfaBody {
       auto plan = draw_plan(rng, ratio);
+      // `c` must be by-reference (the cluster is not copyable) and outlives
+      // every transaction body: run_for() drains all clients before `c`
+      // leaves this scope.  qrdtm-lint: allow(coro-ref-capture)
       return [&c, plan, accounts](baselines::TfaTxn& t) -> sim::Task<void> {
         for (const BankOp& op : plan) {
           if (op.is_read) {
@@ -136,6 +139,8 @@ SystemPoint run_decent(std::uint32_t nodes, double ratio, std::uint64_t seed) {
   for (std::uint32_t n = 0; n < nodes; ++n) {
     c.spawn_loop_client(n, [&, ratio](Rng& rng) -> baselines::DecentBody {
       auto plan = draw_plan(rng, ratio);
+      // Same lifetime argument as run_tfa above: run_for() drains the
+      // clients before `c` dies.  qrdtm-lint: allow(coro-ref-capture)
       return [&c, plan, accounts](baselines::DecentTxn& t) -> sim::Task<void> {
         for (const BankOp& op : plan) {
           if (op.is_read) {

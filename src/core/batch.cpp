@@ -89,9 +89,9 @@ void BatchPlanner::absorb(Txn& txn, std::vector<CommittedTxn>* records) {
   }
   // The write fold mutates the queue cache, so it must run in a fixed
   // order; collect-then-sort the ids first.
-  // qrdtm-lint: allow(det-unordered-iter)
   std::vector<ObjectId> wids;
   wids.reserve(txn.writeset_.size());
+  // qrdtm-lint: allow(det-unordered-iter)
   for (const auto& [id, oc] : txn.writeset_) wids.push_back(id);
   std::sort(wids.begin(), wids.end());
   for (ObjectId id : wids) {

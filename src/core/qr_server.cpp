@@ -76,7 +76,6 @@ SyncPullResponse QrServer::handle_sync_pull() const {
   if (!resp.ok) return resp;
   resp.entries.reserve(store_.num_objects());
   // Order fixed by the sort below.
-  // qrdtm-lint: allow(det-unordered-iter)
   for (const auto& [id, e] : store_.entries()) {
     resp.entries.push_back(SyncEntry{.id = id, .version = e.version,
                                      .data = e.data});

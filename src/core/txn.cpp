@@ -781,13 +781,27 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
   CommitRequest req;
   req.txn = root.scope_id_;
   req.readset.reserve(root.readset_.size());
+  // qrdtm-lint: allow(det-unordered-iter)
   for (const auto& [id, oc] : root.readset_) {
     req.readset.push_back(CommitReadEntry{id, oc.copy.version});
   }
   req.writeset.reserve(root.writeset_.size());
+  // qrdtm-lint: allow(det-unordered-iter)
   for (const auto& [id, oc] : root.writeset_) {
     req.writeset.push_back(CommitWriteEntry{id, oc.copy.version, oc.copy.data});
   }
+  // The sets come straight out of hash maps: fix the wire order so the
+  // encoded request bytes (and the order replicas walk the entries in when
+  // voting and applying) are identical across standard-library hash
+  // implementations.
+  std::sort(req.readset.begin(), req.readset.end(),
+            [](const CommitReadEntry& a, const CommitReadEntry& b) {
+              return a.id < b.id;
+            });
+  std::sort(req.writeset.begin(), req.writeset.end(),
+            [](const CommitWriteEntry& a, const CommitWriteEntry& b) {
+              return a.id < b.id;
+            });
 
   // Copy of the memoised quorum: a failure mid-commit may regenerate the
   // cache while we await votes, and the confirm must reach the same members

@@ -91,13 +91,20 @@ void RpcEndpoint::handle(Message&& m) {
   std::optional<Bytes> reply = services_[m.kind](m.src, m.payload);
   inbound_trace_ = 0;
   net_.pool().release(std::move(m.payload));
-  if (reply.has_value() && m.rpc_id != 0) {
-    net_.send(Message{.src = id_,
-                      .dst = m.src,
-                      .kind = m.kind,
-                      .response = true,
-                      .rpc_id = m.rpc_id,
-                      .payload = std::move(*reply)});
+  if (reply.has_value()) {
+    if (m.rpc_id != 0) {
+      net_.send(Message{.src = id_,
+                        .dst = m.src,
+                        .kind = m.kind,
+                        .response = true,
+                        .rpc_id = m.rpc_id,
+                        .payload = std::move(*reply)});
+    } else {
+      // A one-way notify() handled by a replying service: the reply has no
+      // recipient, but its buffer must still go back to the pool or the
+      // pool's working set shrinks by one buffer per dropped reply.
+      net_.pool().release(std::move(*reply));
+    }
   }
 }
 

@@ -58,8 +58,10 @@ class ReplicaStore {
   void apply(ObjectId id, Version version, Bytes data);
 
   /// 2PC vote bookkeeping.  `now` is recorded so the protection can later be
-  /// lease-expired if the coordinator dies between vote and confirm.
-  void protect(ObjectId id, TxnId txn, std::uint64_t now = 0);
+  /// lease-expired if the coordinator dies between vote and confirm.  No
+  /// default: a protection stamped `now = 0` looks eternally lease-expired
+  /// to expire_protection(), so every caller must name the lease epoch.
+  void protect(ObjectId id, TxnId txn, std::uint64_t now);
   /// Clears protection iff held by `txn` (confirms may arrive after a
   /// competing transaction re-protected the object).
   void unprotect(ObjectId id, TxnId txn);

@@ -1,0 +1,7 @@
+// Fixture: the same pooled buffer returned to the pool twice -- the pool
+// hands the duplicate entry to two different callers later.
+void relay(BufferPool& pool) {
+  Bytes b = pool.acquire(16);
+  pool.release(std::move(b));
+  pool.release(std::move(b));  // double release
+}

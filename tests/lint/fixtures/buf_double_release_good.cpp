@@ -1,0 +1,12 @@
+// Fixture: release on exactly one path each; the post-branch state is
+// Maybe-owned, which the analyzer never diagnoses.  Must produce no buffer
+// diagnostics.
+void relay(BufferPool& pool, bool fast) {
+  Bytes b = pool.acquire(16);
+  if (fast) {
+    pool.release(std::move(b));
+    return;
+  }
+  b.push_back(0x02);
+  pool.release(std::move(b));
+}

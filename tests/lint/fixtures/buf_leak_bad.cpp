@@ -1,0 +1,15 @@
+// Fixture: a pooled buffer acquired and never released or moved out --
+// the pool's working set shrinks by one buffer per call.
+void build_payload(BufferPool& pool) {
+  Bytes b = pool.acquire(64);
+  b.push_back(0x01);
+}  // b still owned here
+
+// Leak on an early return while another path releases correctly.
+void maybe_send(BufferPool& pool, bool ready) {
+  Bytes b = pool.acquire(32);
+  if (!ready) {
+    return;  // leaks b
+  }
+  pool.release(std::move(b));
+}

@@ -1,0 +1,16 @@
+// Fixture: every path either releases the buffer or moves ownership out.
+// Must produce no buffer diagnostics.
+Bytes build_payload(BufferPool& pool) {
+  Bytes b = pool.acquire(64);
+  b.push_back(0x01);
+  return std::move(b);  // ownership moves to the caller
+}
+
+void send_or_drop(BufferPool& pool, bool ready) {
+  Bytes b = pool.acquire(32);
+  if (!ready) {
+    pool.release(std::move(b));
+    return;
+  }
+  pool.release(std::move(b));
+}

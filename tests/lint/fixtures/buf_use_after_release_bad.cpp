@@ -1,0 +1,7 @@
+// Fixture: buffer touched after its ownership went back to the pool; the
+// pool may already have recycled it into another message.
+void inspect(BufferPool& pool) {
+  Bytes b = pool.acquire(8);
+  pool.release(std::move(b));
+  b.push_back(0x03);  // use after release
+}

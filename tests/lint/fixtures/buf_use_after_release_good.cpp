@@ -1,0 +1,8 @@
+// Fixture: all uses happen while the buffer is owned; release is the last
+// touch.  Must produce no buffer diagnostics.
+void inspect(BufferPool& pool) {
+  Bytes b = pool.acquire(8);
+  b.push_back(0x03);
+  b.push_back(0x04);
+  pool.release(std::move(b));
+}

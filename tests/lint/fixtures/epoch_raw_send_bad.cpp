@@ -1,0 +1,12 @@
+// Fixture: raw net::Message construction outside the transport layer --
+// bypasses Network::send's dst_epoch stamping, so a rejoining node's
+// liveness-epoch fence never sees the message.
+void ping(Network& net, NodeId dst) {
+  Message m;  // raw envelope
+  m.dst = dst;
+  net.send(std::move(m));
+}
+
+void pong(Network& net, NodeId dst) {
+  net.send(Message{.src = 0, .dst = dst});  // braced raw envelope
+}

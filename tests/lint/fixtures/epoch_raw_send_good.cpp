@@ -1,0 +1,11 @@
+// Fixture: sends go through the RpcEndpoint helpers, which stamp the
+// destination liveness epoch inside the transport.  Must produce no epoch
+// diagnostics.
+void ping(RpcEndpoint& rpc, NodeId dst, Bytes payload) {
+  rpc.notify(dst, kPing, std::move(payload));
+}
+
+sim::Task<void> call_ping(RpcEndpoint& rpc, NodeId dst, Bytes payload) {
+  auto fut = rpc.call(dst, kPing, std::move(payload), timeout());
+  co_await fut;
+}

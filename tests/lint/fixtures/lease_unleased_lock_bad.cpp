@@ -1,0 +1,11 @@
+// Fixture: protection/lock acquisition without a lease stamp.  An
+// unstamped protection can never be shed by the orphan-lock lease and
+// wedges the object if its owner dies.
+void vote(ReplicaStore& store, ObjectId id, TxnId txn) {
+  store.protect(id, txn);  // no lease timestamp
+}
+
+void take_lock(LockEntry& e, TxnId txn) {
+  e.locked_by = txn;  // no locked_at stamp anywhere near
+  e.waiters = 0;
+}

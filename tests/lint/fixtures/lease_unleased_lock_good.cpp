@@ -1,0 +1,14 @@
+// Fixture: every protection/lock acquisition names its lease epoch, and
+// releases (locked_by = 0) need none.  Must produce no epoch diagnostics.
+void vote(ReplicaStore& store, ObjectId id, TxnId txn, std::uint64_t now) {
+  store.protect(id, txn, now);
+}
+
+void take_lock(LockEntry& e, TxnId txn, std::uint64_t now) {
+  e.locked_by = txn;
+  e.locked_at = now;
+}
+
+void drop_lock(LockEntry& e) {
+  e.locked_by = 0;  // release: no lease needed
+}

@@ -1,0 +1,25 @@
+// Fixture: encode and decode disagree on the op sequence.  The second op
+// encodes `stamp` as u64 but decode reads it as u32, so every field after
+// it is parsed from the wrong offset.
+#include <cstdint>
+
+struct Ping {
+  std::uint32_t seq = 0;
+  std::uint64_t stamp = 0;
+
+  void encode_into(Writer& w) const;
+  static Ping decode(const Bytes& b);
+};
+
+void Ping::encode_into(Writer& w) const {
+  w.u32(seq);
+  w.u64(stamp);
+}
+
+Ping Ping::decode(const Bytes& b) {
+  Reader r(b);
+  Ping p;
+  p.seq = r.u32();
+  p.stamp = r.u32();  // wrong width: desynchronises the stream
+  return p;
+}

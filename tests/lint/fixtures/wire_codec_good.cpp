@@ -1,0 +1,43 @@
+// Fixture: a symmetric codec pair, including a vector field delegated to
+// named element codecs.  Must produce no codec diagnostics.
+#include <cstdint>
+#include <vector>
+
+struct Entry {
+  std::uint64_t id = 0;
+  Bytes data;
+};
+
+struct Snapshot {
+  std::uint32_t epoch = 0;
+  std::vector<Entry> entries;
+
+  void encode_into(Writer& w) const;
+  static Snapshot decode(const Bytes& b);
+};
+
+void encode_entry(Writer& w, const Entry& e) {
+  w.u64(e.id);
+  w.blob(e.data);
+}
+
+Entry decode_entry(Reader& r) {
+  Entry e;
+  e.id = r.u64();
+  e.data = r.blob();
+  return e;
+}
+
+void Snapshot::encode_into(Writer& w) const {
+  w.u32(epoch);
+  encode_vec(w, entries, encode_entry);
+}
+
+Snapshot Snapshot::decode(const Bytes& b) {
+  Reader r(b);
+  Snapshot s;
+  s.epoch = r.u32();
+  s.entries = decode_vec<Entry>(r, decode_entry);
+  r.expect_done();
+  return s;
+}

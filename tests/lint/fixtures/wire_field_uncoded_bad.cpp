@@ -1,0 +1,22 @@
+// Fixture: a declared wire field that neither encode writes nor decode
+// reads -- it silently resets to its default across the wire.
+#include <cstdint>
+
+struct Lease {
+  std::uint64_t holder = 0;
+  std::uint64_t expiry = 0;  // never coded
+
+  void encode_into(Writer& w) const;
+  static Lease decode(const Bytes& b);
+};
+
+void Lease::encode_into(Writer& w) const {
+  w.u64(holder);
+}
+
+Lease Lease::decode(const Bytes& b) {
+  Reader r(b);
+  Lease l;
+  l.holder = r.u64();
+  return l;
+}

@@ -1,0 +1,6 @@
+// Fixture: two message tags sharing a value -- the dispatch table can only
+// route one of them.
+#include <cstdint>
+
+constexpr MsgKind kVoteRequest = 0x10;
+constexpr MsgKind kVoteConfirm = 0x10;  // collides with kVoteRequest

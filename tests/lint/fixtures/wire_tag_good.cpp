@@ -1,0 +1,11 @@
+// Fixture: distinct tag values, all registered.  Must produce no codec
+// diagnostics.
+#include <cstdint>
+
+constexpr MsgKind kPing = 0x01;
+constexpr MsgKind kPong = 0x02;
+
+void install(RpcEndpoint& rpc) {
+  rpc.register_service(kPing, [](NodeId, const Bytes& req) { return req; });
+  rpc.register_service(kPong, [](NodeId, const Bytes& req) { return req; });
+}

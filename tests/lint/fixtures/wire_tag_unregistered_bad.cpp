@@ -1,0 +1,12 @@
+// Fixture: a message tag that is never registered in the dispatch table --
+// messages with this kind are dead letters at every server.
+#include <cstdint>
+
+constexpr MsgKind kPing = 0x01;
+constexpr MsgKind kOrphan = 0x02;  // never registered
+
+void install(RpcEndpoint& rpc) {
+  rpc.register_service(kPing, [](NodeId, const Bytes& req) {
+    return req;
+  });
+}

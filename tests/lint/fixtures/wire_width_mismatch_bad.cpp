@@ -1,0 +1,22 @@
+// Fixture: field declared 8 bytes wide but coded as u32 on both sides.
+// Symmetric, so the stream stays aligned -- but large values truncate
+// silently on the wire.
+#include <cstdint>
+
+struct Counter {
+  std::uint64_t total = 0;
+
+  void encode_into(Writer& w) const;
+  static Counter decode(const Bytes& b);
+};
+
+void Counter::encode_into(Writer& w) const {
+  w.u32(total);  // truncates
+}
+
+Counter Counter::decode(const Bytes& b) {
+  Reader r(b);
+  Counter c;
+  c.total = r.u32();
+  return c;
+}

@@ -160,7 +160,7 @@ TEST(QrServer, RqvDropsOwnerFromPrPwOnFailure) {
 TEST(QrServer, ProtectedObjectAbortsRqvReadersButServesFlat) {
   Rig rig;
   rig.store().seed(1, Bytes{0x01}, 5);
-  rig.store().protect(1, /*txn=*/999);
+  rig.store().protect(1, /*txn=*/999, /*now=*/1);
 
   EXPECT_EQ(rig.read(basic_read(1, NestingMode::kFlat)).status,
             ReadStatus::kOk)
@@ -207,7 +207,7 @@ TEST(QrServer, VoteRejectsStaleWriteBase) {
 TEST(QrServer, VoteRejectsCompetingProtection) {
   Rig rig;
   rig.store().seed(1, Bytes{}, 5);
-  rig.store().protect(1, 999);
+  rig.store().protect(1, 999, /*now=*/1);
   CommitRequest req;
   req.txn = 100;
   req.writeset.push_back(CommitWriteEntry{1, 5, Bytes{}});

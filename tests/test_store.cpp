@@ -43,13 +43,13 @@ TEST(ReplicaStore, ApplyCreatesUnknownObject) {
 TEST(ReplicaStore, ProtectionLifecycle) {
   ReplicaStore s;
   s.seed(1, Bytes{}, 1);
-  s.protect(1, 100);
+  s.protect(1, 100, /*now=*/1);
   EXPECT_TRUE(s.protected_against(1, 200));
   EXPECT_FALSE(s.protected_against(1, 100));  // own protection
   // Re-protect by the same transaction is idempotent.
-  s.protect(1, 100);
+  s.protect(1, 100, /*now=*/1);
   // Another transaction may not steal the protection.
-  EXPECT_THROW(s.protect(1, 200), qrdtm::InvariantError);
+  EXPECT_THROW(s.protect(1, 200, /*now=*/1), qrdtm::InvariantError);
   s.unprotect(1, 100);
   EXPECT_FALSE(s.protected_against(1, 200));
 }
@@ -57,7 +57,7 @@ TEST(ReplicaStore, ProtectionLifecycle) {
 TEST(ReplicaStore, UnprotectByNonHolderIsNoOp) {
   ReplicaStore s;
   s.seed(1, Bytes{}, 1);
-  s.protect(1, 100);
+  s.protect(1, 100, /*now=*/1);
   s.unprotect(1, 999);  // a stale abort-confirm from another transaction
   EXPECT_TRUE(s.protected_against(1, 200));
 }

@@ -318,7 +318,10 @@ sim::Task<void> tfa_checker(baselines::TfaCluster* cl, bool* ok,
   bool all_committed = true;
   for (core::ObjectId id = 1; id <= kBankAccounts; ++id) {
     std::int64_t value = 0;
+    // `value` is read back right after the directly co_awaited bounded run
+    // below returns, so the by-reference capture cannot dangle.
     baselines::TfaBody body =
+        // qrdtm-lint: allow(coro-ref-capture)
         [&value, id](baselines::TfaTxn& t) -> sim::Task<void> {
       value = apps::dec_i64(co_await t.read(id));
     };

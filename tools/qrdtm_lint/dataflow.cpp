@@ -1,0 +1,487 @@
+#include "dataflow.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "tokwalk.h"
+
+namespace qrdtm::lint {
+
+namespace {
+
+enum class BufState { kOwned, kReleased, kMaybe };
+
+struct VarInfo {
+  BufState st = BufState::kOwned;
+  int acquire_line = 0;
+};
+
+using Env = std::map<std::string, VarInfo>;
+
+BufState join_state(BufState a, BufState b) {
+  return a == b ? a : BufState::kMaybe;
+}
+
+/// Join `other` into `env`: variables present in both keep their state if it
+/// agrees and become Maybe otherwise; variables present in only one side are
+/// dropped (they were declared inside a branch and already scope-checked).
+void join_env(Env* env, const Env& other) {
+  for (auto it = env->begin(); it != env->end();) {
+    auto jt = other.find(it->first);
+    if (jt == other.end()) {
+      it = env->erase(it);
+      continue;
+    }
+    it->second.st = join_state(it->second.st, jt->second.st);
+    ++it;
+  }
+}
+
+bool is_tracked_type(std::string_view s) {
+  return s == "Bytes" || s == "Writer" || s == "auto";
+}
+
+struct Analyzer {
+  const std::vector<Token>& t;
+  const BufferDiagFn& diag;
+
+  // ---- events -----------------------------------------------------------
+
+  void release_event(Env* env, const std::string& name, int line) {
+    auto it = env->find(name);
+    if (it == env->end()) return;
+    if (it->second.st == BufState::kReleased) {
+      diag(line, "buf-double-release",
+           "pooled buffer '" + name +
+               "' is released again here; the pool free-list would hold it "
+               "twice and hand it to two owners");
+    }
+    it->second.st = BufState::kReleased;
+  }
+
+  void move_event(Env* env, const std::string& name, int line) {
+    auto it = env->find(name);
+    if (it == env->end()) return;
+    if (it->second.st == BufState::kReleased) {
+      diag(line, "buf-use-after-release",
+           "pooled buffer '" + name +
+               "' is moved from after its ownership was already released");
+    }
+    it->second.st = BufState::kReleased;
+  }
+
+  void use_event(Env* env, const std::string& name, int line) {
+    auto it = env->find(name);
+    if (it == env->end()) return;
+    if (it->second.st == BufState::kReleased) {
+      diag(line, "buf-use-after-release",
+           "pooled buffer '" + name +
+               "' is used after its ownership was released or moved away");
+      env->erase(it);  // one report per variable; avoid cascades
+    }
+  }
+
+  void leak_check_scope(Env* env, const std::set<std::string>& locals) {
+    for (const std::string& name : locals) {
+      auto it = env->find(name);
+      if (it == env->end()) continue;
+      if (it->second.st == BufState::kOwned) {
+        diag(it->second.acquire_line, "buf-leak",
+             "pooled buffer '" + name +
+                 "' acquired here is still owned when it goes out of scope "
+                 "on some path; release_buffer it or move it out");
+      }
+      env->erase(it);
+    }
+  }
+
+  void leak_check_return(Env* env, int line) {
+    for (auto& [name, info] : *env) {
+      if (info.st == BufState::kOwned) {
+        diag(line, "buf-leak",
+             "return while pooled buffer '" + name + "' (acquired at line " +
+                 std::to_string(info.acquire_line) +
+                 ") is still owned; release_buffer it or move it out");
+        info.st = BufState::kReleased;  // reported; path terminates
+      }
+    }
+  }
+
+  // ---- expression scan --------------------------------------------------
+
+  /// True when t[i] opens a lambda introducer '[' (not a subscript or
+  /// attribute).
+  bool lambda_intro_at(std::size_t i) const {
+    if (!is_punct(t[i], "[")) return false;
+    if (i + 1 < t.size() && is_punct(t[i + 1], "[")) return false;
+    if (i == 0) return true;
+    const Token& prev = t[i - 1];
+    if (is_ident(prev, "return") || is_ident(prev, "co_return") ||
+        is_ident(prev, "co_yield")) {
+      return true;
+    }
+    if (prev.kind == Tok::kIdent || prev.kind == Tok::kNumber ||
+        prev.kind == Tok::kString) {
+      return false;
+    }
+    if (is_punct(prev, "]") || is_punct(prev, ")") || is_punct(prev, "[")) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Lambda body: returns index just past the body's '}', or npos.  Bodies
+  /// are analyzed with a fresh environment (deferred execution).
+  std::size_t handle_lambda(std::size_t i) {
+    std::size_t cap_end = skip_balanced(t, i);
+    if (cap_end == npos) return npos;
+    std::size_t k = cap_end;
+    if (k < t.size() && is_punct(t[k], "<")) {
+      std::size_t past = skip_angles(t, k);
+      if (past != npos) k = past;
+    }
+    if (k < t.size() && is_punct(t[k], "(")) {
+      std::size_t past = skip_balanced(t, k);
+      if (past == npos) return npos;
+      k = past;
+    }
+    for (std::size_t guard = 0; k < t.size() && guard < 32; ++k, ++guard) {
+      if (is_punct(t[k], "{")) {
+        std::size_t close = skip_balanced(t, k);
+        if (close == npos) return npos;
+        Env fresh;
+        std::set<std::string> locals;
+        analyze_block(k + 1, close - 1, &fresh, &locals);
+        return close;
+      }
+      if (is_punct(t[k], "(")) {  // noexcept(...) / trailing-return call
+        std::size_t past = skip_balanced(t, k);
+        if (past == npos) return npos;
+        k = past - 1;
+        continue;
+      }
+      if (is_punct(t[k], ";") || is_punct(t[k], "}") || is_punct(t[k], ","))
+        break;
+    }
+    return npos;
+  }
+
+  /// Scan an expression range for ownership events.  Sets *saw_acquire when
+  /// a pool-acquire call appears and *saw_take when ownership is taken out
+  /// of a tracked Writer via `std::move(w).take()`.
+  void scan_expr(std::size_t b, std::size_t e, Env* env, bool* saw_acquire,
+                 bool* saw_take) {
+    for (std::size_t k = b; k < e; ++k) {
+      const Token& tk = t[k];
+      if (tk.kind == Tok::kPunct) {
+        if (lambda_intro_at(k)) {
+          std::size_t past = handle_lambda(k);
+          if (past != npos && past <= e) {
+            k = past - 1;
+            continue;
+          }
+        }
+        continue;
+      }
+      if (tk.kind != Tok::kIdent) continue;
+      std::string_view name = tk.text;
+
+      // Pool acquire: `acquire_buffer(` anywhere, or member `.acquire(`.
+      if (name == "acquire_buffer" && k + 1 < e && is_punct(t[k + 1], "(")) {
+        if (saw_acquire) *saw_acquire = true;
+        continue;
+      }
+      if (name == "acquire" && k + 1 < e && is_punct(t[k + 1], "(") &&
+          k > b &&
+          (is_punct(t[k - 1], ".") || is_punct(t[k - 1], "->"))) {
+        if (saw_acquire) *saw_acquire = true;
+        continue;
+      }
+
+      // Pool release: release_buffer(...) / .release(...): every
+      // `std::move(x)` among the arguments is an explicit pool return.
+      if ((name == "release_buffer" ||
+           (name == "release" && k > b &&
+            (is_punct(t[k - 1], ".") || is_punct(t[k - 1], "->")))) &&
+          k + 1 < e && is_punct(t[k + 1], "(")) {
+        std::size_t close = skip_balanced(t, k + 1);
+        if (close == npos || close > e) continue;
+        std::size_t j = k + 2;
+        bool any = false;
+        while (j + 4 < close) {
+          if (is_ident(t[j], "std") && is_punct(t[j + 1], "::") &&
+              is_ident(t[j + 2], "move") && is_punct(t[j + 3], "(") &&
+              t[j + 4].kind == Tok::kIdent && j + 5 < close &&
+              is_punct(t[j + 5], ")")) {
+            release_event(env, std::string(t[j + 4].text), t[j + 4].line);
+            any = true;
+            j += 6;
+            continue;
+          }
+          ++j;
+        }
+        if (any) {
+          k = close - 1;  // arguments fully handled
+          continue;
+        }
+        continue;  // release of something untracked; keep scanning inside
+      }
+
+      // Ownership handoff: std::move(x) outside a pool release.
+      if (name == "std" && k + 4 < e && is_punct(t[k + 1], "::") &&
+          is_ident(t[k + 2], "move") && is_punct(t[k + 3], "(") &&
+          t[k + 4].kind == Tok::kIdent && k + 5 < e &&
+          is_punct(t[k + 5], ")")) {
+        std::string var(t[k + 4].text);
+        if (env->count(var)) {
+          move_event(env, var, t[k + 4].line);
+          if (saw_take && k + 7 < e && is_punct(t[k + 6], ".") &&
+              is_ident(t[k + 7], "take")) {
+            *saw_take = true;
+          }
+          k += 5;
+          continue;
+        }
+        continue;
+      }
+
+      // Plain mention of a tracked variable.
+      if (env->count(std::string(name))) {
+        use_event(env, std::string(name), tk.line);
+      }
+    }
+  }
+
+  // ---- statements and blocks -------------------------------------------
+
+  /// Find the end of a plain statement starting at `k`: the index of its
+  /// top-level ';', or of a top-level '{' (function/class body).
+  std::size_t statement_end(std::size_t k, std::size_t e,
+                            bool* at_brace) const {
+    int depth = 0;
+    *at_brace = false;
+    for (std::size_t j = k; j < e; ++j) {
+      if (t[j].kind != Tok::kPunct) continue;
+      std::string_view s = t[j].text;
+      if (s == "(" || s == "[") {
+        ++depth;
+      } else if (s == ")" || s == "]") {
+        --depth;
+      } else if (s == "{") {
+        if (depth == 0) {
+          *at_brace = true;
+          return j;
+        }
+        ++depth;
+      } else if (s == "}") {
+        --depth;
+      } else if (s == ";" && depth == 0) {
+        return j;
+      }
+    }
+    return e;
+  }
+
+  /// Analyze one branch arm: a braced block or a single statement.
+  /// Returns the index just past the arm; sets *terminated when the arm
+  /// definitely exits (return/co_return as its final top-level statement).
+  std::size_t analyze_branch(std::size_t k, std::size_t e, Env* env,
+                             bool* terminated) {
+    *terminated = false;
+    if (k >= e) return k;
+    if (is_punct(t[k], "{")) {
+      std::size_t close = skip_balanced(t, k);
+      if (close == npos || close > e + 1) return e;
+      std::set<std::string> locals;
+      *terminated = analyze_block(k + 1, close - 1, env, &locals);
+      return close;
+    }
+    std::set<std::string> locals;
+    std::size_t next = analyze_statement(k, e, env, &locals, terminated);
+    leak_check_scope(env, locals);
+    return next;
+  }
+
+  /// Analyze one statement starting at `k`.  Returns the index just past
+  /// it.  `locals` collects variables declared at this block level;
+  /// *terminated is set for return/co_return.
+  std::size_t analyze_statement(std::size_t k, std::size_t e, Env* env,
+                                std::set<std::string>* locals,
+                                bool* terminated) {
+    *terminated = false;
+    const Token& first = t[k];
+
+    if (is_punct(first, ";")) return k + 1;
+
+    if (is_punct(first, "{")) {  // bare nested scope
+      std::size_t close = skip_balanced(t, k);
+      if (close == npos || close > e + 1) return e;
+      std::set<std::string> inner;
+      analyze_block(k + 1, close - 1, env, &inner);
+      return close;
+    }
+
+    if (first.kind == Tok::kIdent) {
+      std::string_view kw = first.text;
+
+      if (kw == "if") {
+        std::size_t p = k + 1;
+        if (p < e && is_ident(t[p], "constexpr")) ++p;
+        if (p >= e || !is_punct(t[p], "(")) return skip_statement(k, e);
+        std::size_t close = skip_balanced(t, p);
+        if (close == npos || close > e) return e;
+        scan_expr(p + 1, close - 1, env, nullptr, nullptr);
+        Env then_env = *env;
+        bool then_term = false;
+        std::size_t after = analyze_branch(close, e, &then_env, &then_term);
+        if (after < e && is_ident(t[after], "else")) {
+          Env else_env = *env;
+          bool else_term = false;
+          after = analyze_branch(after + 1, e, &else_env, &else_term);
+          join_env(&then_env, else_env);
+          *env = std::move(then_env);
+          *terminated = then_term && else_term;
+        } else {
+          join_env(env, then_env);  // fallthrough path keeps the incoming env
+        }
+        return after;
+      }
+
+      if (kw == "for" || kw == "while") {
+        if (k + 1 >= e || !is_punct(t[k + 1], "(")) {
+          return skip_statement(k, e);
+        }
+        std::size_t close = skip_balanced(t, k + 1);
+        if (close == npos || close > e) return e;
+        scan_expr(k + 2, close - 1, env, nullptr, nullptr);
+        Env body_env = *env;
+        bool term = false;
+        std::size_t after = analyze_branch(close, e, &body_env, &term);
+        join_env(env, body_env);  // body may run zero times
+        return after;
+      }
+
+      if (kw == "do") {
+        Env body_env = *env;
+        bool term = false;
+        std::size_t after = analyze_branch(k + 1, e, &body_env, &term);
+        join_env(env, body_env);
+        // Trailing `while (...);`
+        if (after < e && is_ident(t[after], "while") && after + 1 < e &&
+            is_punct(t[after + 1], "(")) {
+          std::size_t wclose = skip_balanced(t, after + 1);
+          if (wclose != npos && wclose <= e) {
+            scan_expr(after + 2, wclose - 1, env, nullptr, nullptr);
+            after = wclose;
+            if (after < e && is_punct(t[after], ";")) ++after;
+          }
+        }
+        return after;
+      }
+
+      if (kw == "switch") {
+        if (k + 1 >= e || !is_punct(t[k + 1], "(")) {
+          return skip_statement(k, e);
+        }
+        std::size_t close = skip_balanced(t, k + 1);
+        if (close == npos || close > e) return e;
+        scan_expr(k + 2, close - 1, env, nullptr, nullptr);
+        Env body_env = *env;
+        bool term = false;
+        std::size_t after = analyze_branch(close, e, &body_env, &term);
+        join_env(env, body_env);
+        return after;
+      }
+
+      if (kw == "return" || kw == "co_return") {
+        bool at_brace = false;
+        std::size_t end = statement_end(k + 1, e, &at_brace);
+        scan_expr(k + 1, end, env, nullptr, nullptr);
+        leak_check_return(env, first.line);
+        *terminated = true;
+        return end < e && is_punct(t[end], ";") ? end + 1 : end;
+      }
+
+      // Tracked declaration: `Bytes x = init;` / `Writer w(init);` /
+      // `auto b = init;`.
+      if (is_tracked_type(kw) && k + 2 < e && t[k + 1].kind == Tok::kIdent &&
+          (is_punct(t[k + 2], "=") || is_punct(t[k + 2], "(") ||
+           is_punct(t[k + 2], "{"))) {
+        std::string name(t[k + 1].text);
+        bool at_brace = false;
+        std::size_t end = statement_end(k + 2, e, &at_brace);
+        if (!at_brace) {  // a brace here would be a function body, not init
+          bool saw_acquire = false;
+          bool saw_take = false;
+          std::size_t ib = k + 2 + (is_punct(t[k + 2], "=") ? 1 : 0);
+          scan_expr(ib, end, env, &saw_acquire, &saw_take);
+          const bool tracked =
+              saw_acquire || (saw_take && kw == "Bytes");
+          if (tracked) {
+            (*env)[name] = VarInfo{BufState::kOwned, first.line};
+            locals->insert(name);
+          }
+          return end < e ? end + 1 : end;
+        }
+      }
+    }
+
+    // Plain statement (expression, declaration of untracked type, or a
+    // definition whose body is a top-level '{').
+    bool at_brace = false;
+    std::size_t end = statement_end(k, e, &at_brace);
+    bool saw_acquire = false;
+    scan_expr(k, end, env, &saw_acquire, nullptr);
+    if (at_brace) {
+      std::size_t close = skip_balanced(t, end);
+      if (close == npos || close > e + 1) return e;
+      // Function/class/namespace body: analyze with the current (outer)
+      // environment -- empty at file scope, which is the common case.
+      std::set<std::string> inner;
+      analyze_block(end + 1, close - 1, env, &inner);
+      if (close < e && is_punct(t[close], ";")) ++close;
+      return close;
+    }
+    return end < e && is_punct(t[end], ";") ? end + 1 : end;
+  }
+
+  std::size_t skip_statement(std::size_t k, std::size_t e) const {
+    bool at_brace = false;
+    std::size_t end = statement_end(k, e, &at_brace);
+    if (at_brace) {
+      std::size_t close = skip_balanced(t, end);
+      return close == npos || close > e ? e : close;
+    }
+    return end < e ? end + 1 : end;
+  }
+
+  /// Analyze a statement sequence.  Returns true when the block definitely
+  /// terminates (a top-level return/co_return was seen).
+  bool analyze_block(std::size_t b, std::size_t e, Env* env,
+                     std::set<std::string>* locals) {
+    bool terminated = false;
+    std::size_t k = b;
+    while (k < e && t[k].kind != Tok::kEnd) {
+      bool stmt_term = false;
+      std::size_t next = analyze_statement(k, e, env, locals, &stmt_term);
+      terminated = terminated || stmt_term;
+      if (next <= k) ++next;  // forward progress guard
+      k = next;
+    }
+    leak_check_scope(env, *locals);
+    return terminated;
+  }
+};
+
+}  // namespace
+
+void analyze_buffer_lifecycle(const std::vector<Token>& tokens,
+                              const BufferDiagFn& diag) {
+  Analyzer a{tokens, diag};
+  Env env;
+  std::set<std::string> locals;
+  a.analyze_block(0, tokens.size(), &env, &locals);
+}
+
+}  // namespace qrdtm::lint

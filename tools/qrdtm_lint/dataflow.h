@@ -1,0 +1,51 @@
+// Intraprocedural buffer-lifecycle dataflow for qrdtm_lint.
+//
+// Tracks locals that take ownership of a pooled wire buffer:
+//
+//   Writer w(rpc_.acquire_buffer(hint));      // Writer adopting a buffer
+//   Bytes  b = net.pool().acquire(hint);      // raw pooled Bytes
+//   Bytes  e = std::move(w).take();           // ownership handoff from Writer
+//
+// and follows them through a three-point lattice per variable:
+//
+//   Owned ----release/move----> Released
+//     \                          /
+//      `---- join of both ---> Maybe        (never diagnosed)
+//
+// Ownership leaves a variable via `release_buffer(std::move(x))` /
+// `.release(std::move(x))` (an explicit pool return) or via any other
+// `std::move(x)` (handoff into a call, a return value, or another tracked
+// local).  Diagnostics:
+//
+//   buf-leak               Owned at the end of the declaring scope or at a
+//                          return statement.
+//   buf-double-release     a pool release of a variable already Released.
+//   buf-use-after-release  any other mention of a Released variable.
+//
+// Control flow: if/else joins branch environments (branches that end in
+// return/co_return are excluded, having been leak-checked at the return);
+// loop and switch bodies are analyzed once and joined with the incoming
+// environment.  Lambda bodies are analyzed as separate functions with a
+// fresh environment (a lambda runs later; flow does not continue into it).
+// `Maybe` is deliberately silent: the pass only reports what it can prove
+// on every path it models.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace qrdtm::lint {
+
+/// Diagnostic sink: (line, rule, message).  Suppression handling stays with
+/// the caller (rules.cpp), which owns the file's SuppressionMap.
+using BufferDiagFn =
+    std::function<void(int line, const char* rule, std::string msg)>;
+
+/// Run the buffer-lifecycle analysis over one lexed file.
+void analyze_buffer_lifecycle(const std::vector<Token>& tokens,
+                              const BufferDiagFn& diag);
+
+}  // namespace qrdtm::lint

@@ -14,9 +14,22 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Parse "qrdtm-lint: allow(a, b)" directives out of a comment and record
-/// the named rules as suppressed on `line` and `line + 1`.
-void scan_directive(std::string_view comment, int line, SuppressionMap* out) {
+/// Parse "qrdtm-lint: allow(det-rand, det-thread)" directives out of a
+/// comment and record the named rules as suppressed on `line` and
+/// `line + 1`.  Items that are not plausible rule names (placeholders like
+/// "..." or "<rule>" in prose that merely documents the syntax) are
+/// ignored.
+bool plausible_rule_name(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void scan_directive(std::string_view comment, int line, LexResult* out) {
   constexpr std::string_view kKey = "qrdtm-lint:";
   std::size_t at = comment.find(kKey);
   if (at == std::string_view::npos) return;
@@ -28,6 +41,8 @@ void scan_directive(std::string_view comment, int line, SuppressionMap* out) {
   std::size_t close = comment.find(')', p);
   if (close == std::string_view::npos) return;
   std::string_view list = comment.substr(p, close - p);
+  Directive dir;
+  dir.line = line;
   // Split on commas, trim whitespace.
   std::size_t start = 0;
   while (start <= list.size()) {
@@ -39,14 +54,16 @@ void scan_directive(std::string_view comment, int line, SuppressionMap* out) {
       item.remove_prefix(1);
     while (!item.empty() && std::isspace(static_cast<unsigned char>(item.back())))
       item.remove_suffix(1);
-    if (!item.empty()) {
-      auto& lines = (*out)[std::string(item)];
+    if (plausible_rule_name(item)) {
+      auto& lines = out->suppressions[std::string(item)];
       lines.insert(line);
       lines.insert(line + 1);
+      dir.rules.emplace_back(item);
     }
     if (comma == std::string_view::npos) break;
     start = comma + 1;
   }
+  if (!dir.rules.empty()) out->directives.push_back(dir);
 }
 
 // Two- and three-character punctuators, longest first so maximal munch
@@ -106,7 +123,7 @@ LexResult lex(std::string_view src) {
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
       std::size_t start = i;
       while (i < n && src[i] != '\n') ++i;
-      scan_directive(src.substr(start, i - start), line, &out.suppressions);
+      scan_directive(src.substr(start, i - start), line, &out);
       continue;
     }
     // Block comment.
@@ -119,8 +136,7 @@ LexResult lex(std::string_view src) {
         ++i;
       }
       i = i + 1 < n ? i + 2 : n;
-      scan_directive(src.substr(start, i - start), start_line,
-                     &out.suppressions);
+      scan_directive(src.substr(start, i - start), start_line, &out);
       continue;
     }
     // Raw string literal: R"delim( ... )delim".

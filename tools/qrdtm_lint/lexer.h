@@ -11,7 +11,7 @@
 //
 // Comments are scanned for suppression directives of the form
 //
-//     // qrdtm-lint: allow(rule-a, rule-b)
+//     // qrdtm-lint: allow(det-rand, det-thread)
 //
 // A directive suppresses the named rules on its own line and on the line
 // that follows it (so it can trail the offending code or sit just above).
@@ -43,9 +43,18 @@ struct Token {
 /// Lines on which each rule is suppressed: rule name -> set of line numbers.
 using SuppressionMap = std::map<std::string, std::set<int>>;
 
+/// One `qrdtm-lint: allow(...)` directive as written, for the stale-
+/// suppression audit (a directive that never suppresses anything is dead
+/// weight and hides a fixed -- or mistyped -- rule).
+struct Directive {
+  int line = 0;                    // line the directive sits on
+  std::vector<std::string> rules;  // rule names listed in allow(...)
+};
+
 struct LexResult {
   std::vector<Token> tokens;  // terminated by a kEnd token
   SuppressionMap suppressions;
+  std::vector<Directive> directives;
 };
 
 /// Tokenize `source`.  The returned tokens view into `source`, which must

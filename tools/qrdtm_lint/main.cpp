@@ -1,16 +1,30 @@
-// qrdtm_lint -- in-tree determinism / coroutine-safety / hot-path analyzer.
+// qrdtm_lint -- in-tree protocol-invariant analyzer.
 //
 // Usage:
 //   qrdtm_lint [options] <file-or-dir>...
 //
 // Options:
-//   --rules det,coro,hot   Force the listed rule families onto every input
-//                          file (used by the fixture self-tests).  Without
-//                          it, families are selected per file from its path:
-//                            det : src/{sim,core,quorum,net,store,apps,
-//                                  baselines} (bench/ and tools/ exempt)
-//                            coro: every file
-//                            hot : src/sim, src/net, src/core/txn.*
+//   --families det,coro,hot,codec,buffer,epoch
+//                          Force the listed rule families onto every input
+//                          file (used by the fixture self-tests; --rules is
+//                          an accepted alias).  Without it, families are
+//                          selected per file from its path:
+//                            det   : src/{sim,core,quorum,net,store,apps,
+//                                    baselines} (bench/ and tools/ exempt:
+//                                    the harness legitimately reads wall
+//                                    clocks)
+//                            coro  : every file
+//                            hot   : src/sim, src/net, src/core/txn.*
+//                            codec : src dirs above plus bench/ and tools/
+//                            buffer: likewise
+//                            epoch : likewise (tests/ stay exempt: they
+//                                    build raw Messages to probe the
+//                                    transport itself)
+//   --sarif <path>         Also write diagnostics as SARIF 2.1.0 to <path>.
+//   --stale-suppressions   Audit `qrdtm-lint: allow(...)` directives instead
+//                          of reporting diagnostics: exit 1 when a directive
+//                          names an unknown rule or no longer suppresses
+//                          anything its family would emit on that file.
 //   --list-rules           Print every rule name and exit.
 //   -q                     Only print the summary line.
 //
@@ -22,12 +36,14 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lexer.h"
 #include "rules.h"
+#include "symbols.h"
 
 namespace fs = std::filesystem;
 using namespace qrdtm::lint;
@@ -50,21 +66,32 @@ bool contains_dir(const std::string& path, const char* dir) {
 unsigned families_for(const fs::path& file) {
   std::string p = file.generic_string();
   unsigned fam = kCoro;
-  const bool exempt = contains_dir(p, "bench") || contains_dir(p, "tools") ||
-                      contains_dir(p, "tests") || contains_dir(p, "examples");
-  if (!exempt) {
+  const bool test_like =
+      contains_dir(p, "tests") || contains_dir(p, "examples");
+  const bool bench_tools = contains_dir(p, "bench") || contains_dir(p, "tools");
+  bool src_dir = false;
+  if (!test_like && !bench_tools) {
     for (const char* d :
          {"sim", "core", "quorum", "net", "store", "apps", "baselines"}) {
       if (contains_dir(p, d)) {
-        fam |= kDet;
+        src_dir = true;
         break;
       }
     }
+  }
+  if (src_dir) {
+    fam |= kDet;
     const std::string stem = file.filename().string();
     if (contains_dir(p, "sim") || contains_dir(p, "net") ||
         (contains_dir(p, "core") && stem.rfind("txn.", 0) == 0)) {
       fam |= kHot;
     }
+  }
+  // The protocol-invariant families run everywhere except tests/examples:
+  // bench/ and tools/ ship their own codecs and buffer handling (the fuzzer
+  // drives the wire codecs directly) and must obey the same invariants.
+  if (src_dir || bench_tools) {
+    fam |= kCodec | kBuffer | kEpoch;
   }
   return fam;
 }
@@ -76,12 +103,77 @@ struct FileEntry {
   unsigned families = 0;
 };
 
+void json_escape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+bool write_sarif(const std::string& path,
+                 const std::vector<Diagnostic>& diags) {
+  std::string j;
+  j += "{\n";
+  j += "  \"$schema\": "
+       "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  j += "  \"version\": \"2.1.0\",\n";
+  j += "  \"runs\": [{\n";
+  j += "    \"tool\": {\"driver\": {\"name\": \"qrdtm_lint\", "
+       "\"rules\": [";
+  std::set<std::string> rule_ids;
+  for (const Diagnostic& d : diags) rule_ids.insert(d.rule);
+  bool first = true;
+  for (const std::string& r : rule_ids) {
+    if (!first) j += ", ";
+    first = false;
+    j += "{\"id\": \"";
+    json_escape(r, &j);
+    j += "\"}";
+  }
+  j += "]}},\n";
+  j += "    \"results\": [";
+  first = true;
+  for (const Diagnostic& d : diags) {
+    if (!first) j += ",";
+    first = false;
+    j += "\n      {\"ruleId\": \"";
+    json_escape(d.rule, &j);
+    j += "\", \"level\": \"error\", \"message\": {\"text\": \"";
+    json_escape(d.message, &j);
+    j += "\"}, \"locations\": [{\"physicalLocation\": "
+         "{\"artifactLocation\": {\"uri\": \"";
+    json_escape(d.file, &j);
+    j += "\"}, \"region\": {\"startLine\": " + std::to_string(d.line) +
+         "}}}]}";
+  }
+  j += "\n    ]\n  }]\n}\n";
+  std::ofstream ofs(path, std::ios::binary);
+  if (!ofs) return false;
+  ofs << j;
+  return ofs.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<fs::path> inputs;
   unsigned forced_families = 0;
   bool quiet = false;
+  bool stale_mode = false;
+  std::string sarif_path;
 
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
@@ -93,9 +185,22 @@ int main(int argc, char** argv) {
       quiet = true;
       continue;
     }
-    if (arg == "--rules") {
+    if (arg == "--stale-suppressions") {
+      stale_mode = true;
+      continue;
+    }
+    if (arg == "--sarif") {
       if (a + 1 >= argc) {
-        std::fprintf(stderr, "qrdtm_lint: --rules needs an argument\n");
+        std::fprintf(stderr, "qrdtm_lint: --sarif needs a path\n");
+        return 2;
+      }
+      sarif_path = argv[++a];
+      continue;
+    }
+    if (arg == "--families" || arg == "--rules") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "qrdtm_lint: %s needs an argument\n",
+                     arg.c_str());
         return 2;
       }
       std::stringstream ss(argv[++a]);
@@ -104,7 +209,12 @@ int main(int argc, char** argv) {
         if (item == "det") forced_families |= kDet;
         else if (item == "coro") forced_families |= kCoro;
         else if (item == "hot") forced_families |= kHot;
-        else {
+        else if (item == "codec") forced_families |= kCodec;
+        else if (item == "buffer") forced_families |= kBuffer;
+        else if (item == "epoch") forced_families |= kEpoch;
+        else if (item == "all") {
+          forced_families |= kDet | kCoro | kHot | kCodec | kBuffer | kEpoch;
+        } else {
           std::fprintf(stderr, "qrdtm_lint: unknown rule family '%s'\n",
                        item.c_str());
           return 2;
@@ -120,8 +230,9 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) {
     std::fprintf(stderr,
-                 "usage: qrdtm_lint [--rules det,coro,hot] [--list-rules] "
-                 "[-q] <file-or-dir>...\n");
+                 "usage: qrdtm_lint [--families det,coro,hot,codec,buffer,"
+                 "epoch] [--sarif <path>] [--stale-suppressions] "
+                 "[--list-rules] [-q] <file-or-dir>...\n");
     return 2;
   }
 
@@ -151,9 +262,10 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  // Lex everything, grouping by parent directory so cross-file symbols
-  // (e.g. an unordered member declared in foo.h, iterated in foo.cpp) are
-  // visible without leaking names across unrelated subsystems.
+  // Pass 1: lex everything and harvest symbols, grouping by parent
+  // directory so cross-file context (wire structs declared in wire.h,
+  // codec bodies in wire.cpp, registrations in qr_server.cpp) is visible
+  // without leaking names across unrelated subsystems.
   std::vector<FileEntry> entries;
   std::map<std::string, SymbolTable> tables;
   for (const fs::path& f : files) {
@@ -170,15 +282,59 @@ int main(int argc, char** argv) {
     e.source = std::move(buf).str();
     e.lexed = lex(e.source);
     e.families = forced_families ? forced_families : families_for(f);
-    collect_symbols(e.lexed, &tables[f.parent_path().generic_string()]);
+    collect_symbols(f.generic_string(), e.lexed,
+                    &tables[f.parent_path().generic_string()]);
     entries.push_back(std::move(e));
   }
 
+  // Pass 2: per-file rules.  Pass 3: group-level rules per directory.
   std::vector<Diagnostic> diags;
+  std::map<std::string, UsedSuppressions> used;
+  std::map<std::string, std::vector<GroupFile>> groups;
   for (const FileEntry& e : entries) {
-    run_rules(e.path.generic_string(), e.lexed,
-              tables[e.path.parent_path().generic_string()], e.families,
-              &diags);
+    const std::string file = e.path.generic_string();
+    const std::string dir = e.path.parent_path().generic_string();
+    run_rules(file, e.lexed, tables[dir], e.families, &diags, &used[file]);
+    groups[dir].push_back(GroupFile{file, &e.lexed, e.families});
+  }
+  for (const auto& [dir, group] : groups) {
+    run_group_rules(group, tables[dir], &diags, &used);
+  }
+
+  if (stale_mode) {
+    // Audit directives instead of reporting diagnostics: a directive is
+    // stale when it names an unknown rule, or when its rule's family ran on
+    // the file and the directive absorbed nothing.
+    const auto& known = all_rule_names();
+    std::size_t stale = 0;
+    for (const FileEntry& e : entries) {
+      const std::string file = e.path.generic_string();
+      const UsedSuppressions& u = used[file];
+      for (const Directive& d : e.lexed.directives) {
+        for (const std::string& rule : d.rules) {
+          if (std::find(known.begin(), known.end(), rule) == known.end()) {
+            std::fprintf(stderr,
+                         "%s:%d: stale: allow(%s) names an unknown rule\n",
+                         file.c_str(), d.line, rule.c_str());
+            ++stale;
+            continue;
+          }
+          unsigned fam = family_of_rule(rule);
+          if (!(e.families & fam)) continue;  // family inactive: can't judge
+          if (!u.count({d.line, rule}) && !u.count({d.line + 1, rule})) {
+            std::fprintf(stderr,
+                         "%s:%d: stale: allow(%s) no longer suppresses "
+                         "anything; remove it (or fix the rule name)\n",
+                         file.c_str(), d.line, rule.c_str());
+            ++stale;
+          }
+        }
+      }
+    }
+    std::fprintf(stderr,
+                 "qrdtm_lint: %zu file(s), %zu stale suppression(s)\n",
+                 entries.size(), stale);
+    return stale == 0 ? 0 : 1;
   }
 
   std::sort(diags.begin(), diags.end(),
@@ -190,6 +346,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s:%d: error: [%s] %s\n", d.file.c_str(), d.line,
                    d.rule.c_str(), d.message.c_str());
     }
+  }
+  if (!sarif_path.empty() && !write_sarif(sarif_path, diags)) {
+    std::fprintf(stderr, "qrdtm_lint: cannot write SARIF to '%s'\n",
+                 sarif_path.c_str());
+    return 2;
   }
   std::fprintf(stderr, "qrdtm_lint: %zu file(s), %zu diagnostic(s)\n",
                entries.size(), diags.size());

@@ -4,62 +4,12 @@
 #include <cstddef>
 #include <string_view>
 
+#include "dataflow.h"
+#include "tokwalk.h"
+
 namespace qrdtm::lint {
 
 namespace {
-
-constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
-bool is_punct(const Token& t, std::string_view s) {
-  return t.kind == Tok::kPunct && t.text == s;
-}
-bool is_ident(const Token& t, std::string_view s) {
-  return t.kind == Tok::kIdent && t.text == s;
-}
-
-/// `i` points at '<'.  Returns the index just past the matching '>', or npos
-/// if this '<' does not open a (plausible) template argument list.  ">>"
-/// closes two levels; angles inside parentheses are ignored.
-std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
-  int depth = 0;
-  int parens = 0;
-  for (std::size_t k = i; k < t.size(); ++k) {
-    const Token& tk = t[k];
-    if (tk.kind == Tok::kEnd) return npos;
-    if (tk.kind != Tok::kPunct) continue;
-    if (tk.text == "(" || tk.text == "[") {
-      ++parens;
-    } else if (tk.text == ")" || tk.text == "]") {
-      if (--parens < 0) return npos;
-    } else if (parens == 0) {
-      if (tk.text == "<") {
-        ++depth;
-      } else if (tk.text == ">") {
-        if (--depth == 0) return k + 1;
-      } else if (tk.text == ">>") {
-        depth -= 2;
-        if (depth <= 0) return k + 1;
-      } else if (tk.text == ";" || tk.text == "{" || tk.text == "}") {
-        return npos;  // statement boundary: was a comparison, not a template
-      }
-    }
-  }
-  return npos;
-}
-
-/// `i` points at an opener ("(", "[" or "{").  Returns the index just past
-/// the matching closer, or npos.
-std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i) {
-  std::string_view open = t[i].text;
-  std::string_view close = open == "(" ? ")" : open == "[" ? "]" : "}";
-  int depth = 0;
-  for (std::size_t k = i; k < t.size(); ++k) {
-    if (t[k].kind != Tok::kPunct) continue;
-    if (t[k].text == open) ++depth;
-    if (t[k].text == close && --depth == 0) return k + 1;
-  }
-  return npos;
-}
 
 struct Ctx {
   const std::string& file;
@@ -67,14 +17,22 @@ struct Ctx {
   const SuppressionMap& sup;
   const SymbolTable& table;
   std::vector<Diagnostic>* out;
+  UsedSuppressions* used = nullptr;
 
   void diag(int line, const char* rule, std::string msg) const {
     if (auto it = sup.find(rule); it != sup.end() && it->second.count(line)) {
+      if (used) used->insert({line, rule});
       return;
     }
     out->push_back(Diagnostic{file, line, rule, std::move(msg)});
   }
 };
+
+bool path_contains_dir(const std::string& path, const char* dir) {
+  std::string needle = std::string("/") + dir + "/";
+  std::string hay = "/" + path;
+  return hay.find(needle) != std::string::npos;
+}
 
 // ---------------------------------------------------------------------------
 // Family: det
@@ -231,8 +189,23 @@ void check_det(const Ctx& c) {
       std::string_view seq_name;
       if (e - b == 1 && t[b].kind == Tok::kIdent) {
         seq_name = t[b].text;
-      } else if (e - b == 3 && is_ident(t[b], "this") &&
-                 is_punct(t[b + 1], "->") && t[b + 2].kind == Tok::kIdent) {
+      } else if (e - b == 3 && t[b].kind == Tok::kIdent &&
+                 (is_punct(t[b + 1], "->") || is_punct(t[b + 1], ".")) &&
+                 t[b + 2].kind == Tok::kIdent) {
+        // `this->member`, `obj.member_` or `ptr->member_`.  Without types,
+        // one-level chains resolve the member name against the group's
+        // symbol table; to keep wire-struct field names (no underscore by
+        // convention) from aliasing class members, non-this chains only
+        // match the trailing-underscore member convention.
+        if (is_ident(t[b], "this") || t[b + 2].text.back() == '_') {
+          seq_name = t[b + 2].text;
+        }
+      } else if (e - b == 5 && t[b].kind == Tok::kIdent &&
+                 (is_punct(t[b + 1], "->") || is_punct(t[b + 1], ".")) &&
+                 t[b + 2].kind == Tok::kIdent && is_punct(t[b + 3], "(") &&
+                 is_punct(t[b + 4], ")")) {
+        // `obj.accessor()` returning an unordered container (harvested from
+        // the accessor's declaration by collect_symbols).
         seq_name = t[b + 2].text;
       }
       if (!seq_name.empty() &&
@@ -267,6 +240,11 @@ bool lambda_intro_at(const std::vector<Token>& t, std::size_t i) {
   if (i + 1 < t.size() && is_punct(t[i + 1], "[")) return false;
   if (i == 0) return true;
   const Token& prev = t[i - 1];
+  // `return [...]` / `co_return [...]` hand a lambda back, not a subscript.
+  if (is_ident(prev, "return") || is_ident(prev, "co_return") ||
+      is_ident(prev, "co_yield")) {
+    return true;
+  }
   // Subscript or array declarator when preceded by a value-ish token.
   if (prev.kind == Tok::kIdent || prev.kind == Tok::kNumber ||
       prev.kind == Tok::kString) {
@@ -483,80 +461,378 @@ void check_hot(const Ctx& c) {
   }
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
-// Symbol collection (pass 1)
+// Family: buffer (flow-aware; see dataflow.h)
 // ---------------------------------------------------------------------------
 
-void collect_symbols(const LexResult& lexed, SymbolTable* table) {
-  const auto& t = lexed.tokens;
-  auto is_unordered_name = [](std::string_view s) {
-    return s == "unordered_map" || s == "unordered_set" ||
-           s == "unordered_multimap" || s == "unordered_multiset";
-  };
+void check_buffer(const Ctx& c) {
+  analyze_buffer_lifecycle(
+      c.t, [&c](int line, const char* rule, std::string msg) {
+        c.diag(line, rule, std::move(msg));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Family: epoch (epoch stamping and lease discipline)
+// ---------------------------------------------------------------------------
+
+void check_epoch(const Ctx& c) {
+  const auto& t = c.t;
+  // The transport itself (src/net/) is the one place allowed to build raw
+  // Message envelopes: Network::send is the epoch-stamping helper and
+  // RpcEndpoint::call/notify/multicast are its only sanctioned callers.
+  const bool transport = path_contains_dir(c.file, "net");
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != Tok::kIdent) continue;
+    std::string_view name = t[i].text;
 
-    // `using Alias = std::unordered_map<...>;`
-    if (t[i].text == "using" && i + 4 < t.size() &&
-        t[i + 1].kind == Tok::kIdent && is_punct(t[i + 2], "=")) {
-      std::size_t j = i + 3;
-      if (is_ident(t[j], "std") && is_punct(t[j + 1], "::")) j += 2;
-      if (j < t.size() && is_unordered_name(t[j].text)) {
-        table->unordered_aliases.insert(std::string(t[i + 1].text));
-      }
-      continue;
-    }
-
-    // `std::unordered_map<...> name` (declaration of a variable, member or
-    // function returning an unordered container).
-    if (is_unordered_name(t[i].text) && i + 1 < t.size() &&
-        is_punct(t[i + 1], "<")) {
-      std::size_t past = skip_angles(t, i + 1);
-      if (past != npos && past < t.size() && t[past].kind == Tok::kIdent) {
-        table->unordered_vars.insert(std::string(t[past].text));
-      }
-      continue;
-    }
-
-    // `Alias name` for a previously seen unordered alias.
-    if (table->unordered_aliases.count(std::string(t[i].text)) &&
-        i + 1 < t.size() && t[i + 1].kind == Tok::kIdent) {
-      table->unordered_vars.insert(std::string(t[i + 1].text));
-      continue;
-    }
-
-    // `sim::Task<...> name(params)` with a reference parameter.
-    if (t[i].text == "Task" && i + 1 < t.size() && is_punct(t[i + 1], "<")) {
-      std::size_t past = skip_angles(t, i + 1);
-      if (past == npos || past >= t.size()) continue;
-      std::size_t name_at = past;
-      // Allow `Task<...> Cls::name(`.
-      if (t[name_at].kind == Tok::kIdent && name_at + 1 < t.size() &&
-          is_punct(t[name_at + 1], "::")) {
-        name_at += 2;
-      }
-      if (name_at + 1 >= t.size() || t[name_at].kind != Tok::kIdent ||
-          !is_punct(t[name_at + 1], "(")) {
+    if (!transport && name == "Message" &&
+        !(i > 0 && (is_ident(t[i - 1], "struct") ||
+                    is_ident(t[i - 1], "class")))) {
+      // `Message{...}` construction or a local `Message m;` -- both bypass
+      // RpcEndpoint and therefore Network::send's dst_epoch stamping.
+      const bool braced = i + 1 < t.size() && is_punct(t[i + 1], "{");
+      const bool local_decl = i + 2 < t.size() &&
+                              t[i + 1].kind == Tok::kIdent &&
+                              is_punct(t[i + 2], ";");
+      if (braced || local_decl) {
+        c.diag(t[i].line, "epoch-raw-send",
+               "raw net::Message construction outside the transport: sends "
+               "must go through RpcEndpoint::call/notify/multicast so "
+               "Network::send stamps dst_epoch (liveness-epoch fencing, "
+               "PR 5); only src/net/ may build envelopes directly");
         continue;
       }
-      std::size_t close = skip_balanced(t, name_at + 1);
+    }
+
+    // Protection acquired without a lease timestamp.  After PR 7,
+    // ReplicaStore::protect requires the current tick; this catches the
+    // pattern coming back (e.g. a wrapper defaulting it again).
+    if (name == "protect" && i > 0 &&
+        (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")) &&
+        i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+      std::size_t close = skip_balanced(t, i + 1);
       if (close == npos) continue;
-      bool ref_param = false;
       int depth = 0;
-      for (std::size_t k = name_at + 1; k < close - 1; ++k) {
+      int args = 0;
+      bool any = false;
+      for (std::size_t k = i + 2; k < close - 1; ++k) {
+        any = true;
         if (t[k].kind != Tok::kPunct) continue;
-        if (t[k].text == "(" || t[k].text == "<" || t[k].text == "[") ++depth;
-        else if (t[k].text == ")" || t[k].text == ">" || t[k].text == "]") --depth;
-        else if (t[k].text == "&" && depth == 1) ref_param = true;
+        std::string_view s = t[k].text;
+        if (s == "(" || s == "[" || s == "{" || s == "<") ++depth;
+        else if (s == ")" || s == "]" || s == "}" || s == ">") --depth;
+        else if (s == "," && depth == 0) ++args;
       }
-      if (ref_param) {
-        table->ref_param_task_fns.insert(std::string(t[name_at].text));
+      if (any) args += 1;
+      if (args > 0 && args < 3) {
+        c.diag(t[i].line, "lease-unleased-lock",
+               "protect() called without a lease timestamp: an object "
+               "protection that is not stamped with the current tick can "
+               "never be shed by the orphan-lock lease (PR 5) and wedges "
+               "the object if the owner dies; pass sim.now()");
+      }
+      continue;
+    }
+
+    // Lock acquisition without a lease stamp.  Baseline lock tables pair
+    // `locked_by = txn` with `locked_at = now()` so shed_stale_lock can
+    // break orphaned locks; an unstamped acquisition is immortal.
+    if (name == "locked_by" && i + 1 < t.size() && is_punct(t[i + 1], "=")) {
+      // Releases (`locked_by = 0`) need no lease.
+      if (i + 2 < t.size() && t[i + 2].kind == Tok::kNumber &&
+          t[i + 2].text == "0") {
+        continue;
+      }
+      bool stamped = false;
+      const std::size_t limit = i + 80 < t.size() ? i + 80 : t.size();
+      for (std::size_t k = i + 2; k + 1 < limit; ++k) {
+        if (is_ident(t[k], "locked_at") && is_punct(t[k + 1], "=")) {
+          stamped = true;
+          break;
+        }
+      }
+      if (!stamped) {
+        c.diag(t[i].line, "lease-unleased-lock",
+               "lock acquisition sets locked_by without stamping locked_at: "
+               "shed_stale_lock cannot lease-break an unstamped lock, so a "
+               "crashed owner wedges the object forever; set locked_at = "
+               "now() alongside");
+      }
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group-level family: codec (wire symmetry and tag registration)
+// ---------------------------------------------------------------------------
+
+int op_width(CodecOp::Kind k) {
+  switch (k) {
+    case CodecOp::kU8: return 1;
+    case CodecOp::kU16: return 2;
+    case CodecOp::kU32: return 4;
+    case CodecOp::kU64: return 8;
+    case CodecOp::kI64: return 8;
+    default: return 0;
+  }
+}
+
+const char* op_name(CodecOp::Kind k) {
+  switch (k) {
+    case CodecOp::kU8: return "u8";
+    case CodecOp::kU16: return "u16";
+    case CodecOp::kU32: return "u32";
+    case CodecOp::kU64: return "u64";
+    case CodecOp::kI64: return "i64";
+    case CodecOp::kF64: return "f64";
+    case CodecOp::kBool: return "boolean";
+    case CodecOp::kBlob: return "blob";
+    case CodecOp::kStr: return "str";
+    case CodecOp::kRaw: return "raw";
+    case CodecOp::kVec: return "vec";
+    case CodecOp::kCall: return "call";
+  }
+  return "?";
+}
+
+int width_of_type(const SymbolTable& table, const std::string& type) {
+  if (type == "uint8_t" || type == "int8_t" || type == "char") return 1;
+  if (type == "uint16_t" || type == "int16_t") return 2;
+  if (type == "uint32_t" || type == "int32_t") return 4;
+  if (type == "uint64_t" || type == "int64_t") return 8;
+  auto it = table.type_widths.find(type);
+  return it != table.type_widths.end() ? it->second : 0;
+}
+
+/// Splice kCall delegations so the whole op sequence of a codec is linear.
+void flatten_ops(const std::vector<CodecOp>& ops, const SymbolTable& table,
+                 bool encode, int depth, std::vector<const CodecOp*>* out) {
+  for (const CodecOp& op : ops) {
+    if (op.kind == CodecOp::kCall && depth < 4) {
+      const auto& bodies = encode ? table.encoders : table.decoders;
+      auto it = bodies.find(op.elem);
+      if (it != bodies.end()) {
+        flatten_ops(it->second.ops, table, encode, depth + 1, out);
+        continue;
+      }
+    }
+    out->push_back(&op);
+  }
+}
+
+/// Resolve a kVec op's element codec to an op sequence (named helper body
+/// or inline lambda ops).  Null when unresolvable.
+const std::vector<CodecOp>* vec_elem_ops(const CodecOp& op,
+                                         const SymbolTable& table,
+                                         bool encode) {
+  if (!op.elem.empty()) {
+    const auto& bodies = encode ? table.encoders : table.decoders;
+    auto it = bodies.find(op.elem);
+    if (it != bodies.end()) return &it->second.ops;
+    return nullptr;
+  }
+  return op.elem_ops.empty() ? nullptr : &op.elem_ops;
+}
+
+struct GroupCtx {
+  const std::vector<GroupFile>& files;
+  const SymbolTable& table;
+  std::vector<Diagnostic>* out;
+  std::map<std::string, UsedSuppressions>* used;
+
+  const GroupFile* find(const std::string& path) const {
+    for (const GroupFile& f : files) {
+      if (f.path == path) return &f;
+    }
+    return nullptr;
+  }
+
+  /// Emit a diagnostic anchored in `file`, honouring that file's suppression
+  /// map and codec-family selection.
+  void diag(const std::string& file, int line, const char* rule,
+            std::string msg) const {
+    const GroupFile* gf = find(file);
+    if (!gf || !(gf->families & kCodec)) return;
+    const SuppressionMap& sup = gf->lexed->suppressions;
+    if (auto it = sup.find(rule); it != sup.end() && it->second.count(line)) {
+      if (used) (*used)[file].insert({line, rule});
+      return;
+    }
+    out->push_back(Diagnostic{file, line, rule, std::move(msg)});
+  }
+};
+
+/// The struct field an op's operand refers to: the last identifier among the
+/// op's argument idents that names a field of `ws`.
+std::string field_of(const CodecOp& op, const WireStruct& ws) {
+  std::string found;
+  for (const std::string& id : op.arg_idents) {
+    for (const WireField& f : ws.fields) {
+      if (f.name == id) {
+        found = id;
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+const WireField* field_by_name(const WireStruct& ws, const std::string& n) {
+  for (const WireField& f : ws.fields) {
+    if (f.name == n) return &f;
+  }
+  return nullptr;
+}
+
+/// Compare a kVec pair's element codecs structurally (op count + kinds,
+/// recursing into nested vectors).  Reports into `mismatch` on divergence.
+bool compare_elem_ops(const GroupCtx& g, const std::vector<CodecOp>& eops,
+                      const std::vector<CodecOp>& dops, int depth) {
+  if (depth > 4) return true;
+  std::vector<const CodecOp*> ef, df;
+  flatten_ops(eops, g.table, true, depth, &ef);
+  flatten_ops(dops, g.table, false, depth, &df);
+  if (ef.size() != df.size()) return false;
+  for (std::size_t i = 0; i < ef.size(); ++i) {
+    if (ef[i]->kind != df[i]->kind) return false;
+    if (ef[i]->kind == CodecOp::kVec) {
+      const auto* ee = vec_elem_ops(*ef[i], g.table, true);
+      const auto* de = vec_elem_ops(*df[i], g.table, false);
+      if (ee && de && !compare_elem_ops(g, *ee, *de, depth + 1)) return false;
+    }
+  }
+  return true;
+}
+
+void check_codec_struct(const GroupCtx& g, const WireStruct& ws,
+                        const CodecBody& enc, const CodecBody& dec) {
+  std::vector<const CodecOp*> ef, df;
+  flatten_ops(enc.ops, g.table, true, 0, &ef);
+  flatten_ops(dec.ops, g.table, false, 0, &df);
+
+  if (ef.size() != df.size()) {
+    g.diag(enc.file, enc.line, "wire-codec-asymmetry",
+           "wire struct '" + ws.name + "': encode writes " +
+               std::to_string(ef.size()) + " op(s) but decode (line " +
+               std::to_string(dec.line) + ") reads " +
+               std::to_string(df.size()) +
+               "; a peer decoding this message desynchronises the stream");
+    return;
+  }
+
+  std::set<std::string> enc_cover, dec_cover;
+  for (std::size_t i = 0; i < ef.size(); ++i) {
+    const CodecOp& e = *ef[i];
+    const CodecOp& d = *df[i];
+    std::string fe = field_of(e, ws);
+    std::string fd = field_of(d, ws);
+    if (!fe.empty()) enc_cover.insert(fe);
+    if (!fd.empty()) dec_cover.insert(fd);
+
+    if (e.kind != d.kind) {
+      g.diag(enc.file, e.line, "wire-codec-asymmetry",
+             "wire struct '" + ws.name + "': op #" + std::to_string(i + 1) +
+                 " encodes as '" + op_name(e.kind) +
+                 (fe.empty() ? std::string() : "' (field '" + fe + "')") +
+                 "' but decodes (line " + std::to_string(d.line) + ") as '" +
+                 op_name(d.kind) + "'; the byte stream desynchronises");
+      continue;
+    }
+    if (e.kind == CodecOp::kVec) {
+      const auto* ee = vec_elem_ops(e, g.table, true);
+      const auto* de = vec_elem_ops(d, g.table, false);
+      if (ee && de && !compare_elem_ops(g, *ee, *de, 1)) {
+        g.diag(enc.file, e.line, "wire-codec-asymmetry",
+               "wire struct '" + ws.name + "': vector op #" +
+                   std::to_string(i + 1) +
+                   " uses element codecs that disagree between encode and "
+                   "decode (line " + std::to_string(d.line) + ")");
+      }
+    }
+    if (!fe.empty() && !fd.empty() && fe != fd) {
+      g.diag(enc.file, e.line, "wire-codec-asymmetry",
+             "wire struct '" + ws.name + "': op #" + std::to_string(i + 1) +
+                 " encodes field '" + fe + "' but decode (line " +
+                 std::to_string(d.line) + ") fills field '" + fd +
+                 "'; fields are swapped or reordered");
+      continue;
+    }
+    const int ow = op_width(e.kind);
+    const std::string fname = !fe.empty() ? fe : fd;
+    if (ow > 0 && !fname.empty()) {
+      const WireField* wf = field_by_name(ws, fname);
+      const int fw = wf ? width_of_type(g.table, wf->type) : 0;
+      if (fw > 0 && fw != ow) {
+        g.diag(enc.file, e.line, "wire-width-mismatch",
+               "wire struct '" + ws.name + "': field '" + fname +
+                   "' is declared " + wf->type + " (" + std::to_string(fw) +
+                   " byte(s)) but coded with '" + op_name(e.kind) + "' (" +
+                   std::to_string(ow) +
+                   " byte(s)); values truncate silently on the wire");
+      }
+    }
+  }
+
+  for (const WireField& f : ws.fields) {
+    const bool in_enc = enc_cover.count(f.name) != 0;
+    const bool in_dec = dec_cover.count(f.name) != 0;
+    if (!in_enc && !in_dec) {
+      g.diag(ws.file, f.line, "wire-field-uncoded",
+             "field '" + f.name + "' of wire struct '" + ws.name +
+                 "' is neither written by encode nor read by decode; it "
+                 "silently resets to its default across the wire");
+    } else if (!in_enc) {
+      g.diag(ws.file, f.line, "wire-field-uncoded",
+             "field '" + f.name + "' of wire struct '" + ws.name +
+                 "' is read by decode but never written by encode");
+    } else if (!in_dec) {
+      g.diag(ws.file, f.line, "wire-field-uncoded",
+             "field '" + f.name + "' of wire struct '" + ws.name +
+                 "' is written by encode but never read by decode");
+    }
+  }
+}
+
+void check_group_codecs(const GroupCtx& g) {
+  for (const auto& [name, ws] : g.table.structs) {
+    auto ei = g.table.encoders.find(name);
+    auto di = g.table.decoders.find(name);
+    if (ei == g.table.encoders.end() || di == g.table.decoders.end()) {
+      continue;  // codec bodies not in this group (or header-only view)
+    }
+    check_codec_struct(g, ws, ei->second, di->second);
+  }
+
+  // Message tags: unique values, and every tag registered in a dispatch
+  // table somewhere in the group (only judged when the group has one).
+  std::map<long, const MsgTag*> by_value;
+  for (const MsgTag& tag : g.table.msg_tags) {
+    auto [it, inserted] = by_value.emplace(tag.value, &tag);
+    if (!inserted && it->second->name != tag.name) {
+      g.diag(tag.file, tag.line, "wire-tag-duplicate",
+             "message tag '" + tag.name + "' reuses value " +
+                 std::to_string(tag.value) + " already taken by '" +
+                 it->second->name + "' (" + it->second->file + ":" +
+                 std::to_string(it->second->line) +
+                 "); the dispatch table can only route one of them");
+    }
+  }
+  if (!g.table.registered_tags.empty()) {
+    for (const MsgTag& tag : g.table.msg_tags) {
+      if (!g.table.registered_tags.count(tag.name)) {
+        g.diag(tag.file, tag.line, "wire-tag-unregistered",
+               "message tag '" + tag.name +
+                   "' is never registered in a dispatch table "
+                   "(register_service); messages with this kind are dead "
+                   "letters at every server");
       }
     }
   }
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Entry points
@@ -564,14 +840,28 @@ void collect_symbols(const LexResult& lexed, SymbolTable* table) {
 
 void run_rules(const std::string& file, const LexResult& lexed,
                const SymbolTable& table, unsigned families,
-               std::vector<Diagnostic>* out) {
-  Ctx c{file, lexed.tokens, lexed.suppressions, table, out};
+               std::vector<Diagnostic>* out, UsedSuppressions* used) {
+  Ctx c{file, lexed.tokens, lexed.suppressions, table, out, used};
   if (families & kDet) check_det(c);
   if (families & kCoro) {
     check_coro_captures(c);
     check_coro_temp_ref(c);
   }
   if (families & kHot) check_hot(c);
+  if (families & kBuffer) check_buffer(c);
+  if (families & kEpoch) check_epoch(c);
+}
+
+void run_group_rules(const std::vector<GroupFile>& files,
+                     const SymbolTable& table, std::vector<Diagnostic>* out,
+                     std::map<std::string, UsedSuppressions>* used) {
+  bool any_codec = false;
+  for (const GroupFile& f : files) {
+    if (f.families & kCodec) any_codec = true;
+  }
+  if (!any_codec) return;
+  GroupCtx g{files, table, out, used};
+  check_group_codecs(g);
 }
 
 const std::vector<std::string>& all_rule_names() {
@@ -581,8 +871,24 @@ const std::vector<std::string>& all_rule_names() {
       "coro-ref-capture", "coro-temp-ref",
       "hot-std-function", "hot-naked-new",     "hot-make-shared",
       "hot-sorted-percentile",
+      "wire-codec-asymmetry", "wire-field-uncoded", "wire-width-mismatch",
+      "wire-tag-unregistered", "wire-tag-duplicate",
+      "buf-leak", "buf-double-release", "buf-use-after-release",
+      "epoch-raw-send", "lease-unleased-lock",
   };
   return kNames;
+}
+
+unsigned family_of_rule(const std::string& rule) {
+  if (rule.rfind("det-", 0) == 0) return kDet;
+  if (rule.rfind("coro-", 0) == 0) return kCoro;
+  if (rule.rfind("hot-", 0) == 0) return kHot;
+  if (rule.rfind("wire-", 0) == 0) return kCodec;
+  if (rule.rfind("buf-", 0) == 0) return kBuffer;
+  if (rule.rfind("epoch-", 0) == 0 || rule.rfind("lease-", 0) == 0) {
+    return kEpoch;
+  }
+  return 0;
 }
 
 }  // namespace qrdtm::lint

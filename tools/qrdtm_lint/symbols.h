@@ -1,0 +1,118 @@
+// Symbol index for qrdtm_lint (pass 1 of the multi-pass analyzer).
+//
+// collect_symbols() harvests, per directory group, everything the flow-aware
+// rule families need to reason ACROSS files:
+//
+//   * the legacy det/coro symbols (unordered containers, Task<> functions
+//     with reference parameters),
+//   * wire message structs and their field lists (name, declared type),
+//   * encode/decode bodies reduced to *codec-op sequences* -- the ordered
+//     list of Writer/Reader primitive calls (u8/u16/u32/u64/i64/f64/
+//     boolean/blob/str/raw) plus vector codecs with their element codec
+//     inlined (named helper or lambda),
+//   * message-kind constants (`constexpr net::MsgKind kFoo = 0x0101;`) and
+//     the dispatch-table registrations (`register_service(msg::kFoo, ...)`),
+//   * integer type aliases and `enum class X : uintN_t` underlying widths,
+//     so codec ops can be checked against declared field widths.
+//
+// Grouping stays per-directory (a struct declared in wire.h is matched with
+// codec bodies in wire.cpp and registrations in qr_server.cpp, all under
+// src/core/) so unrelated subsystems never alias each other's names.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace qrdtm::lint {
+
+/// One primitive serde operation inside an encode or decode body.
+struct CodecOp {
+  enum Kind {
+    kU8,
+    kU16,
+    kU32,
+    kU64,
+    kI64,
+    kF64,
+    kBool,
+    kBlob,
+    kStr,
+    kRaw,   // length-prefix-free append; has no self-describing decode
+    kVec,   // encode_vec / decode_vec with an element codec
+    kCall,  // delegation to a named free encoder/decoder (spliced at check)
+  };
+  Kind kind = kU8;
+  int line = 0;
+  /// Identifiers appearing in the operand expression (field attribution is
+  /// resolved against the struct's field list at rule time).
+  std::vector<std::string> arg_idents;
+  /// kVec: the named element codec, empty when the element codec is an
+  /// inline lambda.  kCall: the delegated-to function name.
+  std::string elem;
+  /// kVec with an inline lambda element codec: its ops.
+  std::vector<CodecOp> elem_ops;
+};
+
+/// One encode or decode body, reduced to its codec-op sequence.
+struct CodecBody {
+  std::string name;  // struct name (member codec) or free-function name
+  std::string file;
+  int line = 0;
+  bool member = false;
+  /// Free element codecs: the element struct type (2nd parameter of an
+  /// encoder, return type of a decoder) when it could be determined.
+  std::string elem_type;
+  std::vector<CodecOp> ops;
+};
+
+struct WireField {
+  std::string name;
+  std::string type;  // last type identifier ("uint32_t", "Bytes", "vector"...)
+  std::string elem;  // vector element type, when type == "vector"
+  int line = 0;
+};
+
+struct WireStruct {
+  std::string name;
+  std::string file;
+  int line = 0;
+  std::vector<WireField> fields;
+  bool declares_encode = false;  // has encode_into / encode member decl
+  bool declares_decode = false;  // has static decode member decl
+};
+
+/// A `constexpr <...>MsgKind kFoo = 0xNNNN;` definition.
+struct MsgTag {
+  std::string name;
+  std::string file;
+  int line = 0;
+  long value = -1;
+};
+
+/// Cross-file context shared by all files in one directory group.
+struct SymbolTable {
+  // Legacy det/coro symbols.
+  std::set<std::string> unordered_vars;
+  std::set<std::string> unordered_aliases;
+  std::set<std::string> ref_param_task_fns;
+
+  // Wire codec index.
+  std::map<std::string, WireStruct> structs;
+  std::map<std::string, CodecBody> encoders;  // struct name or helper name
+  std::map<std::string, CodecBody> decoders;
+  std::vector<MsgTag> msg_tags;
+  std::set<std::string> registered_tags;  // names seen in register_service()
+
+  // Declared widths: `using X = std::uintN_t` and `enum class X : uintN_t`.
+  std::map<std::string, int> type_widths;
+};
+
+/// Pass 1: harvest symbols from one lexed file into `table`.
+void collect_symbols(const std::string& file, const LexResult& lexed,
+                     SymbolTable* table);
+
+}  // namespace qrdtm::lint

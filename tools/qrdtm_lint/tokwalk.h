@@ -1,0 +1,65 @@
+// Shared token-walking helpers for qrdtm_lint passes.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace qrdtm::lint {
+
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+inline bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+inline bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Tok::kIdent && t.text == s;
+}
+
+/// `i` points at '<'.  Returns the index just past the matching '>', or npos
+/// if this '<' does not open a (plausible) template argument list.  ">>"
+/// closes two levels; angles inside parentheses are ignored.
+inline std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  int parens = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    const Token& tk = t[k];
+    if (tk.kind == Tok::kEnd) return npos;
+    if (tk.kind != Tok::kPunct) continue;
+    if (tk.text == "(" || tk.text == "[") {
+      ++parens;
+    } else if (tk.text == ")" || tk.text == "]") {
+      if (--parens < 0) return npos;
+    } else if (parens == 0) {
+      if (tk.text == "<") {
+        ++depth;
+      } else if (tk.text == ">") {
+        if (--depth == 0) return k + 1;
+      } else if (tk.text == ">>") {
+        depth -= 2;
+        if (depth <= 0) return k + 1;
+      } else if (tk.text == ";" || tk.text == "{" || tk.text == "}") {
+        return npos;  // statement boundary: was a comparison, not a template
+      }
+    }
+  }
+  return npos;
+}
+
+/// `i` points at an opener ("(", "[" or "{").  Returns the index just past
+/// the matching closer, or npos.
+inline std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i) {
+  std::string_view open = t[i].text;
+  std::string_view close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != Tok::kPunct) continue;
+    if (t[k].text == open) ++depth;
+    if (t[k].text == close && --depth == 0) return k + 1;
+  }
+  return npos;
+}
+
+}  // namespace qrdtm::lint
