@@ -125,6 +125,24 @@ FaultSchedule FaultSchedule::generate(std::uint64_t seed,
       s.partitions.push_back(std::move(p));
     }
   }
+
+  // Checkpoint cuts: scattered over the whole horizon, nodes drawn with
+  // replacement (a node may cut several times).  Drawn after every older
+  // family so legacy schedules stay bit-identical.
+  if (opts.checkpoint_cuts > 0) {
+    std::vector<net::NodeId> pool = opts.cut_candidates;
+    if (pool.empty()) {
+      for (net::NodeId n = 0; n < num_nodes; ++n) pool.push_back(n);
+    }
+    for (std::uint32_t c = 0; c < opts.checkpoint_cuts; ++c) {
+      const sim::Tick at = rng.below(opts.horizon > 0 ? opts.horizon : 1);
+      const net::NodeId node =
+          pool[static_cast<std::size_t>(rng.below(pool.size()))];
+      s.cuts.push_back(Cut{at, node});
+    }
+    std::sort(s.cuts.begin(), s.cuts.end(),
+              [](const Cut& a, const Cut& b) { return a.at < b.at; });
+  }
   return s;
 }
 
@@ -241,6 +259,16 @@ void FaultSchedule::arm(Cluster& cluster, HistoryRecorder* recorder) const {
       }
     });
   }
+  for (const Cut& c : cuts) {
+    sim.schedule_at(c.at, [&sim, &cluster, recorder, c] {
+      cluster.cut_checkpoint(c.node);
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "checkpoint cut node %u", c.node);
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+  }
   arm_network_faults(sim, cluster.network(), recorder);
 }
 
@@ -265,6 +293,10 @@ std::string FaultSchedule::describe() const {
   for (const Recover& r : recovers) {
     appendf(out, "  recover t=%8.1f ms node=%u\n",
             static_cast<double>(r.at) * 1e-6, r.node);
+  }
+  for (const Cut& c : cuts) {
+    appendf(out, "  cut   t=%8.1f ms node=%u\n",
+            static_cast<double>(c.at) * 1e-6, c.node);
   }
   for (const Partition& p : partitions) {
     appendf(out, "  partition t=%8.1f ms len=%.1f ms side_a={",

@@ -78,6 +78,15 @@ struct ChaosOptions {
   sim::Tick partition_len = sim::msec(500);
   std::uint32_t partition_max_side = 0;
   std::vector<net::NodeId> partition_candidates;
+
+  /// Commit-log checkpoint cuts (Cluster::cut_checkpoint) scattered over
+  /// the whole horizon on nodes drawn (with replacement) from
+  /// cut_candidates (empty = all nodes).  Cuts racing in-flight 2PC are
+  /// the point: a cut between a replica's vote and its confirm must carry
+  /// the prepare forward, or replay loses the transaction (the fuzz
+  /// "torn-checkpoint" flavor).  Only meaningful when armed on a Cluster.
+  std::uint32_t checkpoint_cuts = 0;
+  std::vector<net::NodeId> cut_candidates;
 };
 
 struct FaultSchedule {
@@ -106,12 +115,17 @@ struct FaultSchedule {
     sim::Tick len = 0;
     std::vector<net::NodeId> side;  // one side of the cut
   };
+  struct Cut {
+    sim::Tick at = 0;
+    net::NodeId node = 0;
+  };
 
   std::vector<Kill> kills;
   std::vector<Burst> bursts;
   std::vector<Spike> spikes;
   std::vector<Recover> recovers;
   std::vector<Partition> partitions;
+  std::vector<Cut> cuts;
   bool kills_notify_provider = true;
 
   /// Derive a schedule from (seed, num_nodes, options).  Pure and
@@ -140,7 +154,7 @@ struct FaultSchedule {
 
   bool empty() const {
     return kills.empty() && bursts.empty() && spikes.empty() &&
-           recovers.empty() && partitions.empty();
+           recovers.empty() && partitions.empty() && cuts.empty();
   }
 
   /// One-line-per-event human-readable description.

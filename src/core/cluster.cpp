@@ -1,5 +1,6 @@
 #include "core/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -10,6 +11,10 @@ namespace qrdtm::core {
 
 Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   Rng seeder(cfg_.seed);
+
+  faults_.set_simulator(&sim_);
+  // A kPanic point is a crash exactly at its protocol boundary.
+  faults_.set_panic_handler([this](net::NodeId node) { kill_node(node); });
 
   // Unless the caller overrode it, charge committing clients the worst-case
   // one-way confirm propagation so back-to-back transactions do not race
@@ -72,7 +77,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
         *endpoints_.back(), *quorums_, metrics_, cfg_.runtime,
         seeder.next()));
     runtimes_.back()->set_failure_detector(failure_detector_.get());
+    runtimes_.back()->set_fault_points(&faults_);
     servers_.back()->set_protection_lease(cfg_.protection_lease);
+    servers_.back()->set_fault_points(&faults_);
+    servers_.back()->set_durable_log(cfg_.durable_log);
     if (cfg_.test_skip_commit_validation) {
       servers_.back()->set_validation_disabled_for_test(true);
     }
@@ -110,7 +118,9 @@ const LatencyMetrics& Cluster::node_latency(net::NodeId node) const {
 
 void Cluster::seed_object(ObjectId id, const Bytes& data, Version version) {
   for (auto& server : servers_) {
-    server->store().seed(id, data, version);
+    // Through the server so the seed lands in the commit log too: a node
+    // that crashes before its first checkpoint cut must replay its seeds.
+    server->seed_object(id, data, version);
   }
   if (recorder_ != nullptr) recorder_->record_seed(id, version, data);
 }
@@ -173,15 +183,36 @@ void Cluster::kill_node(net::NodeId node, bool notify_provider) {
   }
 }
 
+void Cluster::cut_checkpoint(net::NodeId node) {
+  QRDTM_CHECK(node < cfg_.num_nodes);
+  if (!net_->alive(node)) return;
+  servers_[node]->cut_checkpoint();
+  ++metrics_.checkpoint_cuts;
+}
+
 void Cluster::recover_node(net::NodeId node) {
   QRDTM_CHECK(node < cfg_.num_nodes);
   if (net_->alive(node)) return;
   net_->revive(node);
-  // Process restart: committed versions survive, in-flight 2PC bookkeeping
-  // does not.  Protections held here must not resurrect -- their
-  // coordinators have long since timed out and moved on.
-  servers_[node]->store().clear_volatile();
-  servers_[node]->set_syncing(true);
+  QrServer& server = *servers_[node];
+  if (cfg_.durable_log) {
+    // Process restart under durable logging: memory is gone wholesale; the
+    // commit log is the disk.  Replay it locally -- protections and PR/PW
+    // are not logged, so in-flight 2PC bookkeeping stays dead, exactly as
+    // before.  fp::kRecoverySkipReplay armed kSkip models a node that lost
+    // its disk (the broken-recovery canary): it restarts from nothing.
+    if (faults_.fire(fp::kRecoverySkipReplay, node) == FaultAction::kSkip) {
+      server.store().clear_all();
+    } else {
+      metrics_.log_replay_applies += server.replay_commit_log();
+    }
+  } else {
+    // PR-5 model: committed versions survive, in-flight 2PC bookkeeping
+    // does not.  Protections held here must not resurrect -- their
+    // coordinators have long since timed out and moved on.
+    server.store().clear_volatile();
+  }
+  server.set_syncing(true);
   if (failure_detector_) failure_detector_->forget(node);
   sim_.spawn(recover_task(node));
 }
@@ -192,6 +223,16 @@ sim::Task<void> Cluster::recover_task(net::NodeId node) {
   constexpr std::uint32_t kAttempts = 32;
   QrServer& server = *servers_[node];
   net::RpcEndpoint& rpc = *endpoints_[node];
+  // fp::kRecoverySkipSync armed kSkip re-admits the node on its local
+  // replay alone -- no anti-entropy.  Unsafe by design (the node missed
+  // every commit since it died): the broken-recovery canary uses it to
+  // prove the history checker notices.
+  if (faults_.fire(fp::kRecoverySkipSync, node) == FaultAction::kSkip) {
+    server.set_syncing(false);
+    quorums_->on_recovery(node);
+    ++metrics_.node_recoveries;
+    co_return;
+  }
   for (std::uint32_t attempt = 0; attempt < kAttempts; ++attempt) {
     std::vector<net::NodeId> peers;
     try {
@@ -200,7 +241,25 @@ sim::Task<void> Cluster::recover_task(net::NodeId node) {
     }
     std::erase(peers, node);
     if (!peers.empty()) {
-      Bytes req = rpc.acquire_buffer(msg::kSyncPull);
+      // Under durable logging the pull is version-bounded: the request
+      // carries the replayed store's versions and peers ship only strictly
+      // newer copies.  Rebuilt per attempt -- earlier partial pulls may
+      // have already advanced some objects.
+      SyncPullRequest pullreq;
+      if (cfg_.durable_log) {
+        pullreq.have.reserve(server.store().num_objects());
+        // Collect-then-sort below fixes the wire order.
+        for (const auto& [id, e] : server.store().entries()) {
+          pullreq.have.push_back(SyncBound{id, e.version});
+        }
+        std::sort(pullreq.have.begin(), pullreq.have.end(),
+                  [](const SyncBound& a, const SyncBound& b) {
+                    return a.id < b.id;
+                  });
+      }
+      Writer reqw(rpc.acquire_buffer(msg::kSyncPull));
+      pullreq.encode_into(reqw);
+      Bytes req = std::move(reqw).take();
       auto futures =
           rpc.multicast(peers, msg::kSyncPull, req, cfg_.runtime.rpc_timeout);
       rpc.release_buffer(std::move(req));
@@ -212,6 +271,11 @@ sim::Task<void> Cluster::recover_task(net::NodeId node) {
         rpc.release_buffer(std::move(res.payload));
         if (!resp.ok) continue;  // peer is itself still syncing
         ++current;
+        if (cfg_.durable_log) {
+          metrics_.recovery_delta_objects += resp.entries.size();
+        } else {
+          metrics_.recovery_full_objects += resp.entries.size();
+        }
         for (SyncEntry& e : resp.entries) {
           // apply() keeps only strictly-newer copies, so merging the whole
           // quorum's stores is order-independent.
@@ -223,6 +287,12 @@ sim::Task<void> Cluster::recover_task(net::NodeId node) {
       // version.  A partial gather could miss exactly the intersection
       // node.
       if (current == futures.size()) {
+        if (cfg_.durable_log) {
+          // Make the pulled delta durable: the next crash replays it from
+          // the checkpoint image instead of re-pulling it.
+          server.cut_checkpoint();
+          ++metrics_.checkpoint_cuts;
+        }
         server.set_syncing(false);
         quorums_->on_recovery(node);
         ++metrics_.node_recoveries;

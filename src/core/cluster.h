@@ -81,6 +81,13 @@ struct ClusterConfig {
   /// QrServer::set_validation_disabled_for_test).  The fuzz harness uses it
   /// to prove the history checker catches serializability violations.
   bool test_skip_commit_validation = false;
+
+  /// Per-node durable commit/checkpoint logging (store::CommitLog).  On
+  /// (default): a crash wipes the replica's whole in-memory store, recovery
+  /// replays the local log and anti-entropy pulls only a version-bounded
+  /// delta.  Off: the PR-5 model -- committed versions survive the crash
+  /// in place and recovery full-pulls a read quorum.
+  bool durable_log = true;
 };
 
 class Cluster {
@@ -143,17 +150,28 @@ class Cluster {
   /// Restart a killed node and bring it back into service:
   ///   1. revive the network endpoint (a fresh incarnation: pre-crash
   ///      traffic is dropped by the liveness-epoch check),
-  ///   2. wipe the replica's volatile 2PC state (protections, PR/PW) --
-  ///      committed versions survive, as on a durable store,
+  ///   2. crash-wipe the replica: under durable logging the whole in-memory
+  ///      store is lost and rebuilt by replaying the node's commit log
+  ///      (image + tail, fp::kRecoverySkipReplay skips it); without it only
+  ///      volatile 2PC state (protections, PR/PW) is wiped and committed
+  ///      versions survive in place,
   ///   3. mark the replica *syncing* (it refuses reads/votes), and
-  ///   4. spawn an anti-entropy catch-up: pull every peer copy from a full
-  ///      read quorum of live nodes, install strictly-newer versions, then
-  ///      re-admit the node via QuorumProvider::on_recovery.
+  ///   4. spawn an anti-entropy catch-up: pull from a full read quorum of
+  ///      live nodes -- version-bounded (the request carries the replayed
+  ///      versions, peers ship only strictly-newer copies) under durable
+  ///      logging, the full store otherwise -- install strictly-newer
+  ///      versions, cut a post-sync checkpoint so the delta is durable,
+  ///      then re-admit the node via QuorumProvider::on_recovery.
   /// Ordering matters for safety: by Q1 some read-quorum member holds every
   /// committed version, so once the pull completes the rejoining replica is
   /// current and may count toward quorums again; re-admitting before the
   /// pull could hand a read quorum a stale copy.  No-op on a live node.
   void recover_node(net::NodeId node);
+
+  /// Take a checkpoint cut on `node`'s commit log (compact image, discard
+  /// tail, carry in-flight prepares).  Chaos schedules and tests drive
+  /// cuts; nothing cuts automatically.  No-op on a dead node.
+  void cut_checkpoint(net::NodeId node);
 
   /// Nodes the timeout-based detector has suspected so far (0 when
   /// detection is disabled).
@@ -163,6 +181,10 @@ class Cluster {
 
   sim::Simulator& simulator() { return sim_; }
   net::Network& network() { return *net_; }
+  /// The cluster-wide fault-point registry (core/faultpoint.h), already
+  /// attached to every server and runtime; its panic handler is wired to
+  /// kill_node.  Arm points here, then resume() suspended coroutines.
+  FaultPointRegistry& fault_points() { return faults_; }
   quorum::QuorumProvider& quorums() { return *quorums_; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
@@ -186,6 +208,7 @@ class Cluster {
 
   ClusterConfig cfg_;
   sim::Simulator sim_;
+  FaultPointRegistry faults_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<quorum::QuorumProvider> quorums_;
   Metrics metrics_;

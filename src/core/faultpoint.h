@@ -1,0 +1,130 @@
+// Named fault points: Greengage-style steered fault injection.
+//
+// Chaos schedules (PR 3/5) find interleavings by seed luck; regression tests
+// for a *specific* race need to steer one deterministically.  A fault point
+// is a named hook compiled into protocol code at the interesting boundaries
+// (commit vote, confirm apply, checkpoint cut, log flush, recovery).  Tests
+// arm a point with an action; unarmed points cost one branch and never touch
+// the event queue, so determinism goldens are unaffected.
+//
+// Actions:
+//   * kSuspend -- the hitting coroutine parks on a Promise until the test
+//     calls resume(name).  Only valid at co_await-capable sites; the site
+//     pattern is
+//         if (faults && faults->fire(fp::kX, node) == FaultAction::kSuspend)
+//           co_await faults->suspend(fp::kX, node);
+//   * kPanic   -- the panic handler runs (the Cluster wires it to
+//     kill_node), modelling a crash exactly at the boundary.  The site must
+//     stop work (drop the message, send no reply) when fire() returns it.
+//   * kSkip    -- the site skips the guarded step (e.g. chk.cut.carry: cut a
+//     checkpoint WITHOUT carrying in-flight prepares -- the Greengage
+//     checkpoint_dtx_info bug; recovery.skip_replay: wipe without replay).
+//
+// Arming is (name, node, action, uses): `node` targets one node or every
+// node (kAnyNode); `uses` makes the point one-shot (default) or N-shot /
+// unlimited.  hits(name) counts matched fires for test polling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/sync.h"
+
+namespace qrdtm {
+
+enum class FaultAction : std::uint8_t { kNone, kSuspend, kPanic, kSkip };
+
+/// Fault-point name catalogue.  Keep DESIGN.md §15 in sync.
+namespace fp {
+/// Coordinator between gathering commit votes and sending CommitConfirm.
+inline constexpr const char* kCommitBeforeConfirm = "txn.commit.before_confirm";
+/// Replica after validating + protecting a write-set, before the vote reply.
+inline constexpr const char* kServerVote = "server.vote";
+/// Replica on receiving a CommitConfirm, before applying the writes.
+inline constexpr const char* kServerConfirmApply = "server.confirm.apply";
+/// Replica about to append a prepare record to the commit log (skip = the
+/// vote happens but is never made durable).
+inline constexpr const char* kLogPrepare = "log.prepare";
+/// Replica about to append a confirm record to the commit log.
+inline constexpr const char* kLogConfirm = "log.confirm";
+/// Checkpoint cut carrying in-flight prepares (skip = Greengage bug: the
+/// cut drops prepared-but-unconfirmed transactions).
+inline constexpr const char* kChkCutCarry = "chk.cut.carry";
+/// Recovery about to replay the commit log (skip = restart from nothing).
+inline constexpr const char* kRecoverySkipReplay = "recovery.skip_replay";
+/// Recovery about to run the anti-entropy delta pull (skip = trust the
+/// local replay alone).
+inline constexpr const char* kRecoverySkipSync = "recovery.skip_sync";
+}  // namespace fp
+
+class FaultPointRegistry {
+ public:
+  static constexpr std::uint32_t kUnlimited = 0xffffffffu;
+  static constexpr net::NodeId kAnyNode = 0xffffffffu;
+
+  /// The simulator is needed to build suspend Promises; the Cluster sets it
+  /// at construction.  Registries used only for panic/skip may skip this.
+  void set_simulator(sim::Simulator* sim) { sim_ = sim; }
+
+  /// Invoked (with the hitting node) when a kPanic point fires; the Cluster
+  /// wires this to kill_node.  Test-setup plumbing, not a hot path.
+  // qrdtm-lint: allow(hot-std-function)
+  void set_panic_handler(std::function<void(net::NodeId)> handler) {
+    panic_ = std::move(handler);
+  }
+
+  /// Arm `name`: the next `uses` matching fires return `action`.  One
+  /// arming per name; re-arming replaces it.
+  void arm(const std::string& name, FaultAction action, net::NodeId node = kAnyNode,
+           std::uint32_t uses = 1);
+  void disarm(const std::string& name);
+
+  /// Protocol-side hook.  Returns the armed action (consuming one use) when
+  /// `name` is armed for `node`, else kNone.  kPanic additionally invokes
+  /// the panic handler before returning.  Unarmed cost: one branch.
+  FaultAction fire(const char* name, net::NodeId node);
+
+  /// Park the calling coroutine until resume(name).  Call only after fire()
+  /// returned kSuspend.  The future resolves to true (value is a formality:
+  /// the simulator has no Promise<void>).
+  sim::Future<bool> suspend(const std::string& name, net::NodeId node);
+
+  /// Release every coroutine parked on `name`; returns how many.
+  std::size_t resume(const std::string& name);
+  std::size_t resume_all();
+
+  bool armed(const std::string& name) const {
+    return armings_.find(name) != armings_.end();
+  }
+  /// Matched fires of `name` since construction (survives disarm).
+  std::uint64_t hits(const std::string& name) const;
+  /// Coroutines currently parked on `name`.
+  std::size_t suspended(const std::string& name) const;
+
+  /// Drop all armings, hit counts and (unreleased) waiters.  Tests only;
+  /// never call with coroutines still parked unless tearing down.
+  void reset();
+
+ private:
+  struct Arming {
+    FaultAction action = FaultAction::kNone;
+    net::NodeId node = kAnyNode;
+    std::uint32_t remaining = 1;
+  };
+
+  sim::Simulator* sim_ = nullptr;
+  // Test-setup plumbing, invoked at most once per armed panic.
+  // qrdtm-lint: allow(hot-std-function)
+  std::function<void(net::NodeId)> panic_;
+  std::unordered_map<std::string, Arming> armings_;
+  std::unordered_map<std::string, std::uint64_t> hits_;
+  // Insertion-ordered so resume() wakes waiters deterministically.
+  std::vector<std::pair<std::string, sim::Promise<bool>>> waiters_;
+};
+
+}  // namespace qrdtm

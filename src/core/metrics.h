@@ -38,6 +38,17 @@ struct Metrics {
   // --- QR-ON (open nesting extension) ---
   // --- recovery (churn experiments) ---
   std::uint64_t node_recoveries = 0;  // replicas that completed catch-up
+  /// Objects shipped over the wire by delta-bounded catch-up pulls (the
+  /// rejoining node sent post-log-replay version bounds, servers returned
+  /// only strictly-newer copies).  Compare against recovery_full_objects:
+  /// delta recovery is the point of the commit log, and the test suite
+  /// asserts delta << full on the same workload.
+  std::uint64_t recovery_delta_objects = 0;
+  /// Objects shipped by legacy full-store pulls (no bounds: durable
+  /// logging off, or the local log was unusable).
+  std::uint64_t recovery_full_objects = 0;
+  std::uint64_t log_replay_applies = 0;  // apply ops replayed from local logs
+  std::uint64_t checkpoint_cuts = 0;     // commit-log cuts taken cluster-wide
 
   std::uint64_t open_commits = 0;        // open-nested bodies committed
   std::uint64_t compensations_run = 0;   // undone after a root abort

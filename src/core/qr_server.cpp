@@ -59,26 +59,64 @@ QrServer::QrServer(net::RpcEndpoint& rpc) : rpc_(rpc), id_(rpc.id()) {
         return std::nullopt;  // one-way
       });
   rpc.register_service(msg::kSyncPull,
-                       [this](net::NodeId, const Bytes&) -> std::optional<Bytes> {
-                         SyncPullResponse resp = handle_sync_pull();
+                       [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
+                         SyncPullResponse resp = handle_sync_pull(b);
                          Writer w(rpc_.acquire_buffer(msg::kSyncPull));
                          resp.encode_into(w);
                          return std::move(w).take();
                        });
 }
 
-SyncPullResponse QrServer::handle_sync_pull() const {
+std::uint32_t QrServer::liveness_epoch() const {
+  return rpc_.network().epoch(id_);
+}
+
+FaultAction QrServer::fault(const char* point) {
+  return faults_ ? faults_->fire(point, id_) : FaultAction::kNone;
+}
+
+void QrServer::seed_object(ObjectId id, Bytes data, Version version) {
+  if (durable_log_) log_.append_apply(id, version, data, liveness_epoch());
+  store_.seed(id, std::move(data), version);
+}
+
+void QrServer::cut_checkpoint() {
+  // fp::kChkCutCarry armed kSkip models the Greengage checkpoint_dtx_info
+  // bug: the cut forgets prepared-but-unconfirmed transactions, so a
+  // post-cut confirm resolves against nothing and its writes are lost.
+  const bool carry = fault(fp::kChkCutCarry) != FaultAction::kSkip;
+  log_.cut(store_, liveness_epoch(), carry);
+}
+
+std::size_t QrServer::replay_commit_log() {
+  store_.clear_all();
+  return log_.replay_into(store_);
+}
+
+SyncPullResponse QrServer::handle_sync_pull(const Bytes& payload) const {
   SyncPullResponse resp;
   // A replica that is itself catching up must not seed another one: its
   // store can be stale and the puller counts this reply toward a full read
   // quorum (the Q1 freshness argument needs every counted member current).
   resp.ok = !syncing_;
   if (!resp.ok) return resp;
+  resp.total_objects = store_.num_objects();
+  // The puller's post-replay bounds, ids ascending (empty payload = legacy
+  // full pull).  Only strictly-newer copies ship: an object the puller
+  // already holds at an equal version is pure wasted transfer.
+  std::vector<SyncBound> have;
+  if (!payload.empty()) have = SyncPullRequest::decode(payload).have;
   resp.entries.reserve(store_.num_objects());
   // Order fixed by the sort below.
   for (const auto& [id, e] : store_.entries()) {
-    resp.entries.push_back(SyncEntry{.id = id, .version = e.version,
-                                     .data = e.data});
+    const auto it = std::lower_bound(
+        have.begin(), have.end(), id,
+        [](const SyncBound& s, ObjectId v) { return s.id < v; });
+    const Version bound = (it != have.end() && it->id == id) ? it->version : 0;
+    if (e.version > bound) {
+      resp.entries.push_back(SyncEntry{.id = id, .version = e.version,
+                                       .data = e.data});
+    }
   }
   std::sort(resp.entries.begin(), resp.entries.end(),
             [](const SyncEntry& a, const SyncEntry& b) { return a.id < b.id; });
@@ -241,6 +279,21 @@ VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
       store_.protect(e.id, req.txn, rpc_.simulator().now());
     }
   }
+  // WAL discipline: the vote is durable before the reply leaves the node.
+  // Read-only write-sets log nothing (there is nothing to replay).
+  if (durable_log_ && !req.writeset.empty() &&
+      fault(fp::kLogPrepare) != FaultAction::kSkip) {
+    std::vector<store::LoggedWrite> writes;
+    writes.reserve(req.writeset.size());
+    for (const CommitWriteEntry& e : req.writeset) {
+      writes.push_back(store::LoggedWrite{e.id, e.base, 1, e.data});
+    }
+    log_.append_prepare(req.txn, std::move(writes), liveness_epoch());
+  }
+  // Crash exactly between the durable vote and the reply (a dead sender's
+  // reply is cut at send, so a kPanic here means the coordinator never
+  // hears this vote).
+  fault(fp::kServerVote);
   return VoteResponse{.commit = true};
 }
 
@@ -276,10 +329,30 @@ BatchVoteResponse QrServer::handle_batch_commit_request(
       }
     }
   }
+  if (resp.commit && durable_log_ && !req.writeset.empty() &&
+      fault(fp::kLogPrepare) != FaultAction::kSkip) {
+    std::vector<store::LoggedWrite> writes;
+    writes.reserve(req.writeset.size());
+    for (const BatchWriteEntry& e : req.writeset) {
+      writes.push_back(store::LoggedWrite{e.id, e.base, e.steps, e.data});
+    }
+    log_.append_prepare(req.batch, std::move(writes), liveness_epoch());
+  }
+  if (resp.commit) fault(fp::kServerVote);
   return resp;
 }
 
 void QrServer::handle_batch_commit_confirm(const BatchCommitConfirm& confirm) {
+  // Crash (kPanic) or drop (kSkip) exactly at the confirm boundary: the
+  // outcome is neither logged nor applied, and the protections stand until
+  // the lease sheds them.
+  const FaultAction at_apply = fault(fp::kServerConfirmApply);
+  if (at_apply == FaultAction::kSkip || at_apply == FaultAction::kPanic) return;
+  // WAL discipline: the outcome is durable before it is applied.
+  if (durable_log_ && !confirm.writeset.empty() &&
+      fault(fp::kLogConfirm) != FaultAction::kSkip) {
+    log_.append_confirm(confirm.batch, confirm.commit, liveness_epoch());
+  }
   if (confirm.commit) {
     for (const BatchWriteEntry& e : confirm.writeset) {
       // The batch read `base` through a read quorum (fresh by Q1) and
@@ -299,6 +372,14 @@ void QrServer::handle_batch_commit_confirm(const BatchCommitConfirm& confirm) {
 }
 
 void QrServer::handle_commit_confirm(const CommitConfirm& confirm) {
+  // Crash (kPanic) or drop (kSkip) exactly at the confirm boundary.
+  const FaultAction at_apply = fault(fp::kServerConfirmApply);
+  if (at_apply == FaultAction::kSkip || at_apply == FaultAction::kPanic) return;
+  // WAL discipline: the outcome is durable before it is applied.
+  if (durable_log_ && !confirm.writeset.empty() &&
+      fault(fp::kLogConfirm) != FaultAction::kSkip) {
+    log_.append_confirm(confirm.txn, confirm.commit, liveness_epoch());
+  }
   if (confirm.commit) {
     for (const CommitWriteEntry& e : confirm.writeset) {
       // The committed version is base+1.  The writer read `base` through a

@@ -25,10 +25,12 @@
 
 #include <cstdint>
 
+#include "core/faultpoint.h"
 #include "core/metrics.h"
 #include "core/trace.h"
 #include "core/wire.h"
 #include "net/rpc.h"
+#include "store/commit_log.h"
 #include "store/replica_store.h"
 
 namespace qrdtm::core {
@@ -43,6 +45,36 @@ class QrServer {
   const store::ReplicaStore& store() const { return store_; }
 
   net::NodeId id() const { return id_; }
+
+  /// The per-node durable commit log (the in-sim "disk").  Populated only
+  /// while durable logging is on; survives a crash by construction (crash =
+  /// wiping the ReplicaStore, never the log).
+  store::CommitLog& commit_log() { return log_; }
+  const store::CommitLog& commit_log() const { return log_; }
+
+  /// Durable-logging regime.  Off (the pre-commit-log default for
+  /// standalone rigs): committed versions survive a crash wholesale and
+  /// recovery full-pulls a read quorum.  On (ClusterConfig default): the
+  /// store is truly volatile, crashes wipe it, and recovery replays the log
+  /// then pulls a version-bounded delta.  Set before seeding.
+  void set_durable_log(bool on) { durable_log_ = on; }
+  bool durable_log() const { return durable_log_; }
+
+  /// Attach the fault-point registry (nullptr = all points unarmed).
+  void set_fault_points(FaultPointRegistry* faults) { faults_ = faults; }
+
+  /// Seed an object at setup time: installs it in the store and, under
+  /// durable logging, records it so a crashed node can replay it.
+  void seed_object(ObjectId id, Bytes data, Version version = 1);
+
+  /// Take a checkpoint cut on the commit log: snapshot the store image,
+  /// carry in-flight prepares (unless fp::kChkCutCarry is armed kSkip --
+  /// the Greengage bug), discard the record tail.
+  void cut_checkpoint();
+
+  /// Crash recovery, local half: wipe the store and rebuild it from the
+  /// commit log.  Returns the number of apply operations replayed.
+  std::size_t replay_commit_log();
 
   /// Number of Rqv validations this replica failed (test observability).
   std::uint64_t validation_failures() const { return validation_failures_; }
@@ -92,12 +124,22 @@ class QrServer {
   /// expired protection is shed (counted) and reads as unprotected.
   bool check_protected(ObjectId id, TxnId txn);
 
-  SyncPullResponse handle_sync_pull() const;
+  SyncPullResponse handle_sync_pull(const Bytes& payload) const;
+
+  /// The node's current liveness epoch, stamped into every log record so
+  /// replay can pair prepares with confirms from the same incarnation.
+  std::uint32_t liveness_epoch() const;
+
+  /// fire() on the attached registry, kNone when detached.
+  FaultAction fault(const char* point);
 
   net::RpcEndpoint& rpc_;
   net::NodeId id_;
   TraceRecorder* tracer_ = nullptr;
+  FaultPointRegistry* faults_ = nullptr;
   store::ReplicaStore store_;
+  store::CommitLog log_;
+  bool durable_log_ = false;
   std::uint64_t validation_failures_ = 0;
   std::uint64_t lease_breaks_ = 0;
   sim::Tick protection_lease_ = 0;

@@ -830,6 +830,15 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
     rpc_.release_buffer(std::move(res.payload));
   }
 
+  // The canonical checkpoint/recovery race window: votes are gathered (the
+  // write quorum has protected + durably prepared the write-set) but the
+  // confirm has not been sent.  Tests park the coordinator here, cut
+  // checkpoints / crash replicas, then resume (fp::kCommitBeforeConfirm).
+  if (faults_ != nullptr &&
+      faults_->fire(fp::kCommitBeforeConfirm, node()) == FaultAction::kSuspend) {
+    co_await faults_->suspend(fp::kCommitBeforeConfirm, node());
+  }
+
   // The confirm goes out either way: voters that protected the write-set
   // must release it on abort.
   CommitConfirm confirm;

@@ -34,6 +34,7 @@
 #include "common/rng.h"
 #include "core/abstract_locks.h"
 #include "core/failure_detector.h"
+#include "core/faultpoint.h"
 #include "core/metrics.h"
 #include "core/trace.h"
 #include "core/types.h"
@@ -366,6 +367,13 @@ class TxnRuntime {
   void set_trace_recorder(TraceRecorder* tracer) { tracer_ = tracer; }
   TraceRecorder* trace_recorder() { return tracer_; }
 
+  /// Attach the fault-point registry so tests can steer the coordinator
+  /// (e.g. suspend between gathering votes and sending the confirm --
+  /// fp::kCommitBeforeConfirm).  nullptr = all points unarmed; the site is
+  /// a pointer test plus one branch, so goldens are unaffected.
+  void set_fault_points(FaultPointRegistry* faults) { faults_ = faults; }
+  FaultPointRegistry* fault_points() { return faults_; }
+
   /// Always-on latency histograms for this node's client (commit latency,
   /// read RTT, backoff waits, abort-to-retry gaps).  Pure arithmetic on
   /// values the runtime already computes, so it cannot perturb the
@@ -436,6 +444,7 @@ class TxnRuntime {
   FailureDetector* failure_detector_ = nullptr;
   HistoryRecorder* recorder_ = nullptr;
   TraceRecorder* tracer_ = nullptr;
+  FaultPointRegistry* faults_ = nullptr;
   LatencyMetrics latency_;
   RuntimeConfig config_;
   Rng rng_;

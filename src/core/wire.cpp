@@ -182,11 +182,39 @@ VoteResponse VoteResponse::decode(const Bytes& b) {
   return v;
 }
 
+void SyncPullRequest::encode_into(Writer& w) const {
+  w.reserve(w.size() + 4 + have.size() * 16);
+  encode_vec(w, have, [](Writer& w2, const SyncBound& e) {
+    w2.u64(e.id);
+    w2.u64(e.version);
+  });
+}
+
+Bytes SyncPullRequest::encode() const {
+  Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+SyncPullRequest SyncPullRequest::decode(const Bytes& b) {
+  Reader r(b);
+  SyncPullRequest req;
+  req.have = decode_vec<SyncBound>(r, [](Reader& r2) {
+    SyncBound e;
+    e.id = r2.u64();
+    e.version = r2.u64();
+    return e;
+  });
+  r.expect_done();
+  return req;
+}
+
 void SyncPullResponse::encode_into(Writer& w) const {
-  std::size_t n = 1 + 4;
+  std::size_t n = 1 + 8 + 4;
   for (const SyncEntry& e : entries) n += 8 + 8 + 4 + e.data.size();
   w.reserve(w.size() + n);
   w.boolean(ok);
+  w.u64(total_objects);
   encode_vec(w, entries, [](Writer& w2, const SyncEntry& e) {
     w2.u64(e.id);
     w2.u64(e.version);
@@ -204,6 +232,7 @@ SyncPullResponse SyncPullResponse::decode(const Bytes& b) {
   Reader r(b);
   SyncPullResponse resp;
   resp.ok = r.boolean();
+  resp.total_objects = r.u64();
   resp.entries = decode_vec<SyncEntry>(r, [](Reader& r2) {
     SyncEntry e;
     e.id = r2.u64();

@@ -120,14 +120,37 @@ struct SyncEntry {
   Bytes data;
 };
 
-/// Reply to a kSyncPull (the request itself carries no payload): the serving
-/// replica's full committed store, ids ascending.  The recovering node
-/// installs each entry through ReplicaStore::apply, which keeps only
-/// strictly-newer copies, so merging pulls from a whole read quorum is
-/// order-independent.  `ok` is false while the *server* is itself still
-/// syncing -- a catching-up replica must not seed another one.
+/// Per-object bound in a SyncPullRequest: "I already hold `id` at `version`".
+struct SyncBound {
+  ObjectId id = 0;
+  Version version = 0;
+};
+
+/// Recovery anti-entropy pull.  `have` lists the puller's post-log-replay
+/// versions, ids ascending, so the server ships only strictly-newer copies
+/// (the version-bounded delta).  An empty `have` requests the full store --
+/// the pre-commit-log behaviour, still used when durable logging is off or
+/// the local log was unusable.  (An empty *payload* on the wire is treated
+/// the same, for compatibility with the PR-5 request format.)
+struct SyncPullRequest {
+  std::vector<SyncBound> have;
+
+  Bytes encode() const;
+  void encode_into(Writer& w) const;
+  static SyncPullRequest decode(const Bytes& b);
+};
+
+/// Reply to a kSyncPull: the serving replica's committed copies that are
+/// strictly newer than the requester's bounds (all of them when no bounds
+/// were given), ids ascending.  The recovering node installs each entry
+/// through ReplicaStore::apply, which keeps only strictly-newer copies, so
+/// merging pulls from a whole read quorum is order-independent.  `ok` is
+/// false while the *server* is itself still syncing -- a catching-up replica
+/// must not seed another one.  `total_objects` is the size of the server's
+/// committed store, letting the puller report delta-vs-full metrics.
 struct SyncPullResponse {
   bool ok = false;
+  std::uint64_t total_objects = 0;
   std::vector<SyncEntry> entries;
 
   Bytes encode() const;

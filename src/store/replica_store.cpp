@@ -86,6 +86,11 @@ void ReplicaStore::clear_volatile() {
   txn_objects_.clear();
 }
 
+void ReplicaStore::clear_all() {
+  entries_.clear();
+  txn_objects_.clear();
+}
+
 void ReplicaStore::add_reader(ObjectId id, TxnId txn) {
   get_or_create(id).pr.insert(txn);
   txn_objects_[txn].insert(id);

@@ -76,6 +76,11 @@ class ReplicaStore {
   /// bookkeeping lives in memory, committed data is durable.
   void clear_volatile();
 
+  /// Wipe EVERYTHING, committed versions included.  Models a crash under the
+  /// durable-commit-log regime: memory is volatile, the CommitLog is the
+  /// disk, and recovery rebuilds the store via CommitLog::replay_into.
+  void clear_all();
+
   /// PR/PW maintenance (root transactions only, paper Alg. 2 line 17-18).
   void add_reader(ObjectId id, TxnId txn);
   void add_writer(ObjectId id, TxnId txn);

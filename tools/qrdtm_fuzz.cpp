@@ -19,6 +19,9 @@
 //   $ qrdtm_fuzz --repro qr:closed:bank:7:2 --txns 3   # replay one combo
 //   $ qrdtm_fuzz --break-validation       # prove the checker catches a
 //                                         # protocol bug (exit 0 iff caught)
+//   $ qrdtm_fuzz --sched-base 4 --schedules 1   # torn-checkpoint flavor
+//   $ qrdtm_fuzz --break-recovery         # prove the checker catches the
+//                                         # Greengage torn-checkpoint bug
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +34,7 @@
 #include "baselines/tfa.h"
 #include "core/chaos.h"
 #include "core/cluster.h"
+#include "core/faultpoint.h"
 #include "core/history.h"
 
 using namespace qrdtm;
@@ -99,10 +103,14 @@ std::string combo_name(const ComboSpec& c) {
 //   2 -- the above plus (QR only) one leaf fail-stop;
 //   3 -- churn: flavor-1 network faults, plus one partition window for
 //        every protocol, plus (QR only) up to two fail-stops each paired
-//        with a catch-up recovery.
+//        with a catch-up recovery;
+//   4 -- torn-checkpoint: flavor-3 churn plus (QR only) commit-log
+//        checkpoint cuts scattered over the horizon, so cuts race
+//        in-flight 2PC prepares and recoveries replay across cut
+//        boundaries.
 // TFA is single-copy and DecentSTM requires full replica-group votes, so
-// neither tolerates kills by design -- for them flavors 2-3 keep the
-// network faults but never kill.
+// neither tolerates kills by design -- for them flavors 2-4 keep the
+// network faults but never kill (and have no commit log to cut).
 core::FaultSchedule make_schedule(const ComboSpec& c) {
   if (c.sched == 0) return {};
   core::ChaosOptions opts;
@@ -139,6 +147,12 @@ core::FaultSchedule make_schedule(const ComboSpec& c) {
     for (std::uint32_t n = kClients; n < kNumNodes; ++n) {
       opts.partition_candidates.push_back(static_cast<net::NodeId>(n));
     }
+  }
+  if (c.sched >= 4 && c.protocol == "qr") {
+    // Cuts on every node (empty candidates = all): write quorums include
+    // client-side replicas too, and a cut racing a prepare is interesting
+    // wherever the prepare lands.
+    opts.checkpoint_cuts = 6;
   }
   return core::FaultSchedule::generate(c.seed * 1000003 + c.sched, kNumNodes,
                                        opts);
@@ -479,6 +493,115 @@ ComboResult run_combo(const ComboSpec& c) {
   std::exit(2);
 }
 
+// --------------------------------------------- broken-recovery canary ---
+
+sim::Task<void> torn_txn(core::Cluster* cl, core::ObjectId obj,
+                         bool* committed) {
+  core::TxnBody body = [obj](core::Txn& t) -> sim::Task<void> {
+    const core::Bytes b = co_await t.read_for_write(obj);
+    t.write(obj, apps::enc_i64(apps::dec_i64(b) + 1));
+  };
+  *committed = co_await cl->runtime(0).run_transaction_bounded(std::move(body),
+                                                               kMaxAttempts);
+}
+
+/// Steered Greengage checkpoint_dtx_info race: park a coordinator between
+/// its votes and its confirm, cut a checkpoint on every replica inside that
+/// window, resume, then crash-and-restart every replica one at a time.  In
+/// the control run the cut carries the in-flight prepare forward, replay
+/// matches the later confirm against it, and the committed version survives
+/// every restart.  With `broken` the cut drops the carry (fp::kChkCutCarry
+/// kSkip) and recovery trusts local replay alone (fp::kRecoverySkipSync
+/// kSkip), so the commit silently vanishes from every replica -- the
+/// replica-divergence check against the certified final state must say so.
+/// Returns true iff a violation was reported (into *report).
+bool run_torn_recovery(std::uint64_t seed, bool broken, std::string* report) {
+  core::ClusterConfig cfg;
+  cfg.num_nodes = 7;
+  cfg.quorum = core::QuorumKind::kMajority;
+  cfg.seed = seed;
+  core::Cluster cluster(cfg);
+  core::HistoryRecorder recorder;
+  cluster.set_history_recorder(&recorder);
+  const core::ObjectId obj = cluster.seed_new_object(apps::enc_i64(0));
+  FaultPointRegistry& faults = cluster.fault_points();
+
+  // Phase 1: park the coordinator in the vote->confirm window.  The write
+  // quorum has protected and durably prepared the write-set; the confirm
+  // does not exist yet.
+  faults.arm(fp::kCommitBeforeConfirm, FaultAction::kSuspend, /*node=*/0);
+  bool committed = false;
+  cluster.simulator().spawn(torn_txn(&cluster, obj, &committed));
+  cluster.run_to_completion();
+  if (faults.suspended(fp::kCommitBeforeConfirm) != 1) {
+    *report = "torn-recovery staging failed: coordinator never parked";
+    return false;
+  }
+
+  // Phase 2: cut a checkpoint on every replica while the prepare is in
+  // flight.  Broken mode reproduces the Greengage bug: the cut forgets the
+  // prepared-but-unconfirmed transaction.
+  if (broken) {
+    faults.arm(fp::kChkCutCarry, FaultAction::kSkip, FaultPointRegistry::kAnyNode,
+               FaultPointRegistry::kUnlimited);
+  }
+  for (std::uint32_t n = 0; n < cfg.num_nodes; ++n) {
+    cluster.cut_checkpoint(static_cast<net::NodeId>(n));
+  }
+  faults.disarm(fp::kChkCutCarry);
+
+  // Phase 3: release the confirm; the transaction commits for real.
+  faults.resume(fp::kCommitBeforeConfirm);
+  cluster.run_to_completion();
+  if (!committed) {
+    *report = "torn-recovery staging failed: steered transaction aborted";
+    return false;
+  }
+
+  // Phase 4: crash and restart every replica, one at a time so read quorums
+  // stay available for the control run's anti-entropy pull.  Broken mode
+  // re-admits each node on its (torn) local replay alone.
+  for (std::uint32_t n = 0; n < cfg.num_nodes; ++n) {
+    const net::NodeId node = static_cast<net::NodeId>(n);
+    if (broken) {
+      faults.arm(fp::kRecoverySkipSync, FaultAction::kSkip, node);
+    }
+    cluster.kill_node(node);
+    cluster.recover_node(node);
+    cluster.run_to_completion();
+  }
+
+  // Verdict: the certified final state must be reachable from the live
+  // replicas (same check run_qr applies after chaos).
+  const core::CheckResult cr =
+      core::check_history(recorder, core::CheckLevel::kSerializable);
+  if (!cr.ok) {
+    *report = cr.report;
+    return true;
+  }
+  for (const auto& [id, fin] : cr.final_state) {
+    core::Version best = 0;
+    for (std::uint32_t n = 0; n < cfg.num_nodes; ++n) {
+      const store::ReplicaEntry* e =
+          cluster.server(static_cast<net::NodeId>(n)).store().find(id);
+      if (e != nullptr && e->version > best) best = e->version;
+    }
+    if (best != fin.version) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "VIOLATION (replica divergence): o=%llu newest live "
+                    "replica has v=%llu, certified final state is v=%llu",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(best),
+                    static_cast<unsigned long long>(fin.version));
+      *report = buf;
+      return true;
+    }
+  }
+  *report = "no violation";
+  return false;
+}
+
 // --------------------------------------------------------------- driver ---
 
 struct Options {
@@ -495,6 +618,7 @@ struct Options {
                                           core::NestingMode::kQueued};
   std::vector<std::string> apps = {"bank", "vacation"};
   bool break_validation = false;
+  bool break_recovery = false;
   std::string repro;  // proto:mode:app:seed:sched
 };
 
@@ -506,7 +630,8 @@ void usage() {
       "  --schedules N       number of fault-schedule flavors swept,\n"
       "                      sched-base..sched-base+N-1 (default 3)\n"
       "  --sched-base N      first fault-schedule flavor (default 0;\n"
-      "                      3 = kill/rejoin churn + partitions)\n"
+      "                      3 = kill/rejoin churn + partitions,\n"
+      "                      4 = churn + torn checkpoint cuts)\n"
       "  --txns N            transactions per client (default 6)\n"
       "  --protocols CSV     subset of qr,tfa,decent\n"
       "  --modes CSV         subset of flat,closed,checkpoint,queued "
@@ -517,7 +642,11 @@ void usage() {
       "  --break-validation  disable replica commit validation and require\n"
       "                      the checker to catch the bug under both the\n"
       "                      per-transaction (flat) and batched (queued)\n"
-      "                      commit paths; exit 0 iff it catches both\n");
+      "                      commit paths; exit 0 iff it catches both\n"
+      "  --break-recovery    steer the Greengage torn-checkpoint race with\n"
+      "                      the carry and the anti-entropy pull disabled;\n"
+      "                      the control run must certify and the broken\n"
+      "                      run must be caught; exit 0 iff both hold\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s, char sep = ',') {
@@ -556,6 +685,10 @@ bool parse(int argc, char** argv, Options& opt) {
     if (flag == "--help" || flag == "-h") return false;
     if (flag == "--break-validation") {
       opt.break_validation = true;
+      continue;
+    }
+    if (flag == "--break-recovery") {
+      opt.break_recovery = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -677,6 +810,43 @@ int main(int argc, char** argv) {
     c.break_validation = opt.break_validation;
     if (c.break_validation) c.num_objects = 4;
     combos.push_back(c);
+  } else if (opt.break_recovery) {
+    // Steered canary for the torn-checkpoint race.  The control run proves
+    // the detection pipeline has no false positive on the healthy protocol;
+    // the broken run proves it has teeth: with the carry and the
+    // anti-entropy pull disabled the committed transaction vanishes from
+    // every replica, and the divergence check must say so.
+    bool control_ok = true;
+    std::string report;
+    for (std::uint32_t s = 0; s < (opt.seeds < 2 ? opt.seeds : 2); ++s) {
+      if (run_torn_recovery(opt.seed_base + s, /*broken=*/false, &report)) {
+        std::printf("fuzz: ERROR -- control torn-recovery run seed=%llu "
+                    "reported a violation:\n  %s\n",
+                    static_cast<unsigned long long>(opt.seed_base + s),
+                    report.c_str());
+        control_ok = false;
+      }
+    }
+    bool caught = false;
+    std::uint64_t caught_seed = 0;
+    const std::uint32_t seeds = opt.seeds < 4 ? opt.seeds : 4;
+    for (std::uint32_t s = 0; s < seeds && !caught; ++s) {
+      if (run_torn_recovery(opt.seed_base + s, /*broken=*/true, &report)) {
+        caught = true;
+        caught_seed = opt.seed_base + s;
+      }
+    }
+    if (caught) {
+      std::printf("fuzz: checker caught the torn-checkpoint recovery bug "
+                  "(seed=%llu)\n  %s\n",
+                  static_cast<unsigned long long>(caught_seed),
+                  report.c_str());
+    } else {
+      std::printf("fuzz: ERROR -- recovery broken but no violation detected "
+                  "(%s)\n",
+                  report.c_str());
+    }
+    return control_ok && caught ? 0 : 1;
   } else if (opt.break_validation) {
     // Focused detection run: high contention, no chaos needed -- the
     // protocol itself is broken, the checker must see it.  The bug is
