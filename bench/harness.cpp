@@ -1,5 +1,6 @@
 #include "bench/harness.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -24,6 +25,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   cc.runtime.batch_max_txns = cfg.batch_max_txns;
   cc.quorum = cfg.quorum;
   cc.tree_read_level = cfg.tree_read_level;
+  cc.num_shards = cfg.num_shards;
+  cc.cohort_size = std::min(cfg.cohort_size, cfg.num_nodes);
   if (cfg.link_latency != 0) cc.link_latency = cfg.link_latency;
   if (cfg.service_time != 0) cc.service_time = cfg.service_time;
 

@@ -30,6 +30,10 @@ struct ExperimentConfig {
 
   core::QuorumKind quorum = core::QuorumKind::kTree;
   std::uint32_t tree_read_level = 1;
+  /// kSharded only (see ClusterConfig): cohort count and replicas per
+  /// cohort for partial replication.
+  std::uint32_t num_shards = 16;
+  std::uint32_t cohort_size = 13;
   std::uint32_t failures = 0;  // nodes killed before the run (Fig. 10)
   /// Churn: restart every pre-killed node at this tick via
   /// Cluster::recover_node (anti-entropy catch-up + quorum re-admission).

@@ -158,7 +158,9 @@ sim::Task<bool> BatchPlanner::commit_round(TxnId batch_id,
 
   // Copy of the memoised quorum: the confirm must reach the same members
   // the request went to even if a failure regenerates the cache mid-round.
-  const std::vector<net::NodeId> wq = rt_.write_quorum();
+  // order_ holds every batch object (reads and writes), so the union spans
+  // all touched cohorts.
+  const std::vector<net::NodeId> wq = rt_.union_write_quorum(order_);
   ++rt_.metrics().commit_requests;
   rt_.metrics().commit_messages += wq.size();
   Writer reqw(rt_.rpc_.acquire_buffer(msg::kBatchCommitRequest));

@@ -53,6 +53,20 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
       quorums_ =
           std::make_unique<quorum::FlatFailureAwareProvider>(cfg_.num_nodes);
       break;
+    case QuorumKind::kSharded: {
+      quorum::ShardedQuorumProvider::Config sc;
+      sc.num_nodes = cfg_.num_nodes;
+      sc.num_shards = cfg_.num_shards;
+      sc.cohort_size = cfg_.cohort_size;
+      sc.inner = cfg_.sharded_majority_inner
+                     ? quorum::ShardedQuorumProvider::Inner::kMajority
+                     : quorum::ShardedQuorumProvider::Inner::kTree;
+      sc.tree_degree = cfg_.tree_degree;
+      sc.tree_read_level = cfg_.tree_read_level;
+      sc.same_for_all = cfg_.same_quorums_for_all;
+      quorums_ = std::make_unique<quorum::ShardedQuorumProvider>(sc);
+      break;
+    }
   }
 
   if (cfg_.failure_detection_threshold > 0) {
@@ -81,6 +95,9 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
     servers_.back()->set_protection_lease(cfg_.protection_lease);
     servers_.back()->set_fault_points(&faults_);
     servers_.back()->set_durable_log(cfg_.durable_log);
+    servers_.back()->set_quorum_provider(quorums_.get());
+    servers_.back()->set_metrics(&metrics_);
+    servers_.back()->set_max_tail_bytes(cfg_.runtime.log_max_tail_bytes);
     if (cfg_.test_skip_commit_validation) {
       servers_.back()->set_validation_disabled_for_test(true);
     }
@@ -118,8 +135,11 @@ const LatencyMetrics& Cluster::node_latency(net::NodeId node) const {
 
 void Cluster::seed_object(ObjectId id, const Bytes& data, Version version) {
   for (auto& server : servers_) {
-    // Through the server so the seed lands in the commit log too: a node
-    // that crashes before its first checkpoint cut must replay its seeds.
+    // Only the object's replicas hold it (everyone under full replication,
+    // the cohort's members under kSharded).  Through the server so the seed
+    // lands in the commit log too: a node that crashes before its first
+    // checkpoint cut must replay its seeds.
+    if (!quorums_->replicates(server->id(), id)) continue;
     server->seed_object(id, data, version);
   }
   if (recorder_ != nullptr) recorder_->record_seed(id, version, data);
@@ -220,7 +240,12 @@ void Cluster::recover_node(net::NodeId node) {
 sim::Task<void> Cluster::recover_task(net::NodeId node) {
   // Bounded retries: with no live read quorum reachable the node stays
   // syncing (excluded from quorums), which is safe -- just unavailable.
+  // Exhausting a whole attempt budget is no longer silent: it counts a
+  // recovery_failure, narrates a fuzz event, and schedules another round
+  // (bounded too, so a drained run still terminates) -- a churn schedule
+  // that starves the first 32 attempts cannot wedge the node permanently.
   constexpr std::uint32_t kAttempts = 32;
+  constexpr std::uint32_t kRounds = 8;
   QrServer& server = *servers_[node];
   net::RpcEndpoint& rpc = *endpoints_[node];
   // fp::kRecoverySkipSync armed kSkip re-admits the node on its local
@@ -233,60 +258,75 @@ sim::Task<void> Cluster::recover_task(net::NodeId node) {
     ++metrics_.node_recoveries;
     co_return;
   }
-  for (std::uint32_t attempt = 0; attempt < kAttempts; ++attempt) {
-    std::vector<net::NodeId> peers;
-    try {
-      peers = quorums_->read_quorum(node);
-    } catch (const quorum::QuorumUnavailable&) {
-    }
-    std::erase(peers, node);
-    if (!peers.empty()) {
-      // Under durable logging the pull is version-bounded: the request
-      // carries the replayed store's versions and peers ship only strictly
-      // newer copies.  Rebuilt per attempt -- earlier partial pulls may
-      // have already advanced some objects.
-      SyncPullRequest pullreq;
-      if (cfg_.durable_log) {
-        pullreq.have.reserve(server.store().num_objects());
-        // Collect-then-sort below fixes the wire order.
-        for (const auto& [id, e] : server.store().entries()) {
-          pullreq.have.push_back(SyncBound{id, e.version});
+  // The node catches up cohort by cohort: one pull from each cohort it is
+  // a member of (a single pull from cohort 0 under full replication).  An
+  // attempt succeeds only when EVERY cohort gathered its full read quorum
+  // within that attempt -- freshness per cohort needs the full quorum (by
+  // Q1 it intersects every write quorum of the cohort, so some counted
+  // member holds each committed version), and demanding it within one
+  // attempt keeps the pull-to-readmission staleness window down to the
+  // attempt's own round trips.
+  const std::vector<std::uint32_t> cohorts = quorums_->node_cohorts(node);
+  for (std::uint32_t round = 0;; ++round) {
+    for (std::uint32_t attempt = 0; attempt < kAttempts; ++attempt) {
+      bool all_current = true;
+      for (std::uint32_t cohort : cohorts) {
+        std::vector<net::NodeId> peers;
+        try {
+          peers = quorums_->cohort_read_quorum(node, cohort);
+        } catch (const quorum::QuorumUnavailable&) {
         }
-        std::sort(pullreq.have.begin(), pullreq.have.end(),
-                  [](const SyncBound& a, const SyncBound& b) {
-                    return a.id < b.id;
-                  });
-      }
-      Writer reqw(rpc.acquire_buffer(msg::kSyncPull));
-      pullreq.encode_into(reqw);
-      Bytes req = std::move(reqw).take();
-      auto futures =
-          rpc.multicast(peers, msg::kSyncPull, req, cfg_.runtime.rpc_timeout);
-      rpc.release_buffer(std::move(req));
-      std::size_t current = 0;
-      for (auto& f : futures) {
-        net::RpcResult res = co_await f;
-        if (!res.ok) continue;
-        SyncPullResponse resp = SyncPullResponse::decode(res.payload);
-        rpc.release_buffer(std::move(res.payload));
-        if (!resp.ok) continue;  // peer is itself still syncing
-        ++current;
+        std::erase(peers, node);
+        if (peers.empty()) {
+          all_current = false;
+          continue;
+        }
+        // Under durable logging the pull is version-bounded: the request
+        // carries the replayed store's versions and peers ship only
+        // strictly newer copies.  Rebuilt per pull -- earlier partial
+        // pulls may have already advanced some objects.  The bounds cover
+        // the whole store; peers filter replies down to what this node
+        // replicates.
+        SyncPullRequest pullreq;
         if (cfg_.durable_log) {
-          metrics_.recovery_delta_objects += resp.entries.size();
-        } else {
-          metrics_.recovery_full_objects += resp.entries.size();
+          pullreq.have.reserve(server.store().num_objects());
+          // Collect-then-sort below fixes the wire order.
+          for (const auto& [id, e] : server.store().entries()) {
+            pullreq.have.push_back(SyncBound{id, e.version});
+          }
+          std::sort(pullreq.have.begin(), pullreq.have.end(),
+                    [](const SyncBound& a, const SyncBound& b) {
+                      return a.id < b.id;
+                    });
         }
-        for (SyncEntry& e : resp.entries) {
-          // apply() keeps only strictly-newer copies, so merging the whole
-          // quorum's stores is order-independent.
-          server.store().apply(e.id, e.version, std::move(e.data));
+        Writer reqw(rpc.acquire_buffer(msg::kSyncPull));
+        pullreq.encode_into(reqw);
+        Bytes req = std::move(reqw).take();
+        auto futures = rpc.multicast(peers, msg::kSyncPull, req,
+                                     cfg_.runtime.rpc_timeout);
+        rpc.release_buffer(std::move(req));
+        std::size_t current = 0;
+        for (auto& f : futures) {
+          net::RpcResult res = co_await f;
+          if (!res.ok) continue;
+          SyncPullResponse resp = SyncPullResponse::decode(res.payload);
+          rpc.release_buffer(std::move(res.payload));
+          if (!resp.ok) continue;  // peer is itself still syncing
+          ++current;
+          if (cfg_.durable_log) {
+            metrics_.recovery_delta_objects += resp.entries.size();
+          } else {
+            metrics_.recovery_full_objects += resp.entries.size();
+          }
+          for (SyncEntry& e : resp.entries) {
+            // apply() keeps only strictly-newer copies, so merging the
+            // whole quorum's stores is order-independent.
+            server.store().apply(e.id, e.version, std::move(e.data));
+          }
         }
+        if (current != futures.size()) all_current = false;
       }
-      // Freshness needs the FULL read quorum: by Q1 it intersects every
-      // write quorum, so at least one counted member holds each committed
-      // version.  A partial gather could miss exactly the intersection
-      // node.
-      if (current == futures.size()) {
+      if (all_current) {
         if (cfg_.durable_log) {
           // Make the pulled delta durable: the next crash replays it from
           // the checkpoint image instead of re-pulling it.
@@ -298,8 +338,21 @@ sim::Task<void> Cluster::recover_task(net::NodeId node) {
         ++metrics_.node_recoveries;
         co_return;
       }
+      co_await sim_.delay(cfg_.runtime.rpc_timeout);
     }
-    co_await sim_.delay(cfg_.runtime.rpc_timeout);
+    // A whole attempt budget starved out: record it loudly instead of the
+    // old silent co_return that left the node syncing forever.
+    ++metrics_.recovery_failures;
+    if (recorder_ != nullptr) {
+      recorder_->record_fault(sim_.now(),
+                             "recovery.stalled node=" + std::to_string(node) +
+                                 " round=" + std::to_string(round + 1) + "/" +
+                                 std::to_string(kRounds));
+    }
+    if (round + 1 >= kRounds || sim_.stopping()) co_return;
+    // Back off a few timeouts before the next round; the partition or kill
+    // burst that starved this one usually clears in the meantime.
+    co_await sim_.delay(cfg_.runtime.rpc_timeout * 4);
   }
 }
 

@@ -34,6 +34,7 @@ enum class QuorumKind {
   kTree,              // Agrawal-El Abbadi ternary tree (paper default)
   kMajority,          // plain majorities (ablation)
   kFlatFailureAware,  // Fig. 10 policy
+  kSharded,           // partial replication over quorum cohorts
 };
 
 struct ClusterConfig {
@@ -46,6 +47,17 @@ struct ClusterConfig {
   std::uint32_t tree_degree = 3;
   std::uint32_t tree_read_level = 1;
   bool same_quorums_for_all = true;  // the paper's experimental setting
+
+  /// kSharded only: cohort count (objects hash to cohorts via CohortMap)
+  /// and replicas per cohort.  Each cohort runs its own inner tree (the
+  /// default) or majority quorum structure over `cohort_size` consecutive
+  /// nodes; an object lives on exactly its cohort's members.
+  std::uint32_t num_shards = 16;
+  std::uint32_t cohort_size = 13;
+  /// kSharded only: use majority quorums inside each cohort instead of the
+  /// ternary tree (no single root, so any minority of a cohort can die
+  /// without losing its write quorum -- what the chaos fuzzer wants).
+  bool sharded_majority_inner = false;
 
   /// One-way link latency and jitter.  The default reproduces the paper's
   /// testbed: ~30 ms observed round trip for a (multicast) remote request.
@@ -99,8 +111,9 @@ class Cluster {
 
   // ----- setup ------------------------------------------------------------
 
-  /// Install an object replica on *every* node (QR: full replication),
-  /// bypassing the protocol.  Call before running.
+  /// Install an object replica on every node that replicates it (every
+  /// node under full replication; the object's cohort members under
+  /// kSharded), bypassing the protocol.  Call before running.
   void seed_object(ObjectId id, const Bytes& data, Version version = 1);
 
   /// Allocate a fresh setup-time id and seed it everywhere.

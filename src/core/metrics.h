@@ -49,6 +49,17 @@ struct Metrics {
   std::uint64_t recovery_full_objects = 0;
   std::uint64_t log_replay_applies = 0;  // apply ops replayed from local logs
   std::uint64_t checkpoint_cuts = 0;     // commit-log cuts taken cluster-wide
+  /// Recovery attempts that exhausted every delta-pull round without
+  /// gathering a full read quorum.  The node stays syncing and a re-attempt
+  /// is scheduled; a nonzero count under churn is expected, a *growing*
+  /// count with no matching node_recoveries means a wedged replica.
+  std::uint64_t recovery_failures = 0;
+  std::uint64_t log_autocuts = 0;  // checkpoint cuts forced by max_tail_bytes
+
+  // --- sharded cohorts ---
+  /// 2PC vote rounds whose read+write set spanned more than one quorum
+  /// cohort (the multicast covered several cohorts' write quorums).
+  std::uint64_t cross_shard_rounds = 0;
 
   std::uint64_t open_commits = 0;        // open-nested bodies committed
   std::uint64_t compensations_run = 0;   // undone after a root abort

@@ -59,8 +59,8 @@ QrServer::QrServer(net::RpcEndpoint& rpc) : rpc_(rpc), id_(rpc.id()) {
         return std::nullopt;  // one-way
       });
   rpc.register_service(msg::kSyncPull,
-                       [this](net::NodeId, const Bytes& b) -> std::optional<Bytes> {
-                         SyncPullResponse resp = handle_sync_pull(b);
+                       [this](net::NodeId from, const Bytes& b) -> std::optional<Bytes> {
+                         SyncPullResponse resp = handle_sync_pull(from, b);
                          Writer w(rpc_.acquire_buffer(msg::kSyncPull));
                          resp.encode_into(w);
                          return std::move(w).take();
@@ -93,7 +93,19 @@ std::size_t QrServer::replay_commit_log() {
   return log_.replay_into(store_);
 }
 
-SyncPullResponse QrServer::handle_sync_pull(const Bytes& payload) const {
+void QrServer::maybe_autocut() {
+  if (max_tail_bytes_ == 0 || !durable_log_) return;
+  if (log_.tail_bytes() < max_tail_bytes_) return;
+  cut_checkpoint();
+  ++log_autocuts_;
+  if (metrics_ != nullptr) {
+    ++metrics_->log_autocuts;
+    ++metrics_->checkpoint_cuts;
+  }
+}
+
+SyncPullResponse QrServer::handle_sync_pull(net::NodeId from,
+                                            const Bytes& payload) const {
   SyncPullResponse resp;
   // A replica that is itself catching up must not seed another one: its
   // store can be stale and the puller counts this reply toward a full read
@@ -109,6 +121,10 @@ SyncPullResponse QrServer::handle_sync_pull(const Bytes& payload) const {
   resp.entries.reserve(store_.num_objects());
   // Order fixed by the sort below.
   for (const auto& [id, e] : store_.entries()) {
+    // Under sharded cohorts only ship what the puller replicates: seeding a
+    // node with foreign-cohort objects would silently grow it back into a
+    // full replica (and bloat the transfer the delta bound exists to trim).
+    if (quorums_ != nullptr && !quorums_->replicates(from, id)) continue;
     const auto it = std::lower_bound(
         have.begin(), have.end(), id,
         [](const SyncBound& s, ObjectId v) { return s.id < v; });
@@ -276,6 +292,9 @@ VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
   // crashing the replica.  unprotect() at confirm is a lenient no-op.
   if (!skip_commit_validation_) {
     for (const CommitWriteEntry& e : req.writeset) {
+      // A cross-shard commit multicast reaches the union of the touched
+      // cohorts' write quorums; each member only locks what it replicates.
+      if (!replicated_here(e.id)) continue;
       store_.protect(e.id, req.txn, rpc_.simulator().now());
     }
   }
@@ -286,9 +305,13 @@ VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
     std::vector<store::LoggedWrite> writes;
     writes.reserve(req.writeset.size());
     for (const CommitWriteEntry& e : req.writeset) {
+      if (!replicated_here(e.id)) continue;
       writes.push_back(store::LoggedWrite{e.id, e.base, 1, e.data});
     }
-    log_.append_prepare(req.txn, std::move(writes), liveness_epoch());
+    if (!writes.empty()) {
+      log_.append_prepare(req.txn, std::move(writes), liveness_epoch());
+      maybe_autocut();
+    }
   }
   // Crash exactly between the durable vote and the reply (a dead sender's
   // reply is cut at send, so a kPanic here means the coordinator never
@@ -325,6 +348,7 @@ BatchVoteResponse QrServer::handle_batch_commit_request(
     }
     if (resp.commit) {
       for (const BatchWriteEntry& e : req.writeset) {
+        if (!replicated_here(e.id)) continue;
         store_.protect(e.id, req.batch, rpc_.simulator().now());
       }
     }
@@ -334,9 +358,13 @@ BatchVoteResponse QrServer::handle_batch_commit_request(
     std::vector<store::LoggedWrite> writes;
     writes.reserve(req.writeset.size());
     for (const BatchWriteEntry& e : req.writeset) {
+      if (!replicated_here(e.id)) continue;
       writes.push_back(store::LoggedWrite{e.id, e.base, e.steps, e.data});
     }
-    log_.append_prepare(req.batch, std::move(writes), liveness_epoch());
+    if (!writes.empty()) {
+      log_.append_prepare(req.batch, std::move(writes), liveness_epoch());
+      maybe_autocut();
+    }
   }
   if (resp.commit) fault(fp::kServerVote);
   return resp;
@@ -348,13 +376,21 @@ void QrServer::handle_batch_commit_confirm(const BatchCommitConfirm& confirm) {
   // the lease sheds them.
   const FaultAction at_apply = fault(fp::kServerConfirmApply);
   if (at_apply == FaultAction::kSkip || at_apply == FaultAction::kPanic) return;
-  // WAL discipline: the outcome is durable before it is applied.
-  if (durable_log_ && !confirm.writeset.empty() &&
+  // WAL discipline: the outcome is durable before it is applied.  Only
+  // transactions that logged a local prepare (some write replicated here)
+  // need an outcome record.
+  bool any_local = false;
+  for (const BatchWriteEntry& e : confirm.writeset) {
+    if (replicated_here(e.id)) any_local = true;
+  }
+  if (durable_log_ && any_local &&
       fault(fp::kLogConfirm) != FaultAction::kSkip) {
     log_.append_confirm(confirm.batch, confirm.commit, liveness_epoch());
+    maybe_autocut();
   }
   if (confirm.commit) {
     for (const BatchWriteEntry& e : confirm.writeset) {
+      if (!replicated_here(e.id)) continue;
       // The batch read `base` through a read quorum (fresh by Q1) and
       // absorbed `steps` speculative writes in queue order; every
       // write-quorum member converges on base+steps with the final value.
@@ -365,6 +401,7 @@ void QrServer::handle_batch_commit_confirm(const BatchCommitConfirm& confirm) {
     }
   } else {
     for (const BatchWriteEntry& e : confirm.writeset) {
+      if (!replicated_here(e.id)) continue;
       store_.unprotect(e.id, confirm.batch);
     }
   }
@@ -375,13 +412,21 @@ void QrServer::handle_commit_confirm(const CommitConfirm& confirm) {
   // Crash (kPanic) or drop (kSkip) exactly at the confirm boundary.
   const FaultAction at_apply = fault(fp::kServerConfirmApply);
   if (at_apply == FaultAction::kSkip || at_apply == FaultAction::kPanic) return;
-  // WAL discipline: the outcome is durable before it is applied.
-  if (durable_log_ && !confirm.writeset.empty() &&
+  // WAL discipline: the outcome is durable before it is applied.  Only
+  // transactions that logged a local prepare (some write replicated here)
+  // need an outcome record.
+  bool any_local = false;
+  for (const CommitWriteEntry& e : confirm.writeset) {
+    if (replicated_here(e.id)) any_local = true;
+  }
+  if (durable_log_ && any_local &&
       fault(fp::kLogConfirm) != FaultAction::kSkip) {
     log_.append_confirm(confirm.txn, confirm.commit, liveness_epoch());
+    maybe_autocut();
   }
   if (confirm.commit) {
     for (const CommitWriteEntry& e : confirm.writeset) {
+      if (!replicated_here(e.id)) continue;
       // The committed version is base+1.  The writer read `base` through a
       // read quorum, so by Q1 it was the globally newest version; base+1 is
       // therefore fresh, and every write-quorum member converges on it.
@@ -390,6 +435,7 @@ void QrServer::handle_commit_confirm(const CommitConfirm& confirm) {
     }
   } else {
     for (const CommitWriteEntry& e : confirm.writeset) {
+      if (!replicated_here(e.id)) continue;
       store_.unprotect(e.id, confirm.txn);
     }
   }

@@ -30,6 +30,7 @@
 #include "core/trace.h"
 #include "core/wire.h"
 #include "net/rpc.h"
+#include "quorum/quorum.h"
 #include "store/commit_log.h"
 #include "store/replica_store.h"
 
@@ -62,6 +63,28 @@ class QrServer {
 
   /// Attach the fault-point registry (nullptr = all points unarmed).
   void set_fault_points(FaultPointRegistry* faults) { faults_ = faults; }
+
+  /// Attach the cluster's quorum provider so the replica knows which
+  /// objects it holds (nullptr = full replication, the classic providers).
+  /// Under sharded cohorts a commit multicast spans the union of several
+  /// cohorts' write quorums, so every recipient filters protect/log/apply
+  /// down to the entries it actually replicates.
+  void set_quorum_provider(const quorum::QuorumProvider* quorums) {
+    quorums_ = quorums;
+  }
+
+  /// Attach the cluster-wide metrics sink (nullptr = standalone rig).
+  void set_metrics(Metrics* metrics) { metrics_ = metrics; }
+
+  /// Tail-growth bound for the commit log: once the record tail exceeds
+  /// this many bytes a checkpoint cut is taken right after the append.
+  /// 0 disables the auto-cut (the pre-bound behaviour: the tail grows
+  /// without bound until recovery or a chaos-scheduled cut).
+  void set_max_tail_bytes(std::size_t bytes) { max_tail_bytes_ = bytes; }
+  std::size_t max_tail_bytes() const { return max_tail_bytes_; }
+
+  /// Checkpoint cuts forced by the max_tail_bytes bound on this replica.
+  std::uint64_t log_autocuts() const { return log_autocuts_; }
 
   /// Seed an object at setup time: installs it in the store and, under
   /// durable logging, records it so a crashed node can replay it.
@@ -124,7 +147,16 @@ class QrServer {
   /// expired protection is shed (counted) and reads as unprotected.
   bool check_protected(ObjectId id, TxnId txn);
 
-  SyncPullResponse handle_sync_pull(const Bytes& payload) const;
+  SyncPullResponse handle_sync_pull(net::NodeId from,
+                                    const Bytes& payload) const;
+
+  /// Whether this node replicates `id` (true under full replication).
+  bool replicated_here(ObjectId id) const {
+    return quorums_ == nullptr || quorums_->replicates(id_, id);
+  }
+
+  /// Cut a checkpoint when the record tail outgrew max_tail_bytes_.
+  void maybe_autocut();
 
   /// The node's current liveness epoch, stamped into every log record so
   /// replay can pair prepares with confirms from the same incarnation.
@@ -137,9 +169,13 @@ class QrServer {
   net::NodeId id_;
   TraceRecorder* tracer_ = nullptr;
   FaultPointRegistry* faults_ = nullptr;
+  const quorum::QuorumProvider* quorums_ = nullptr;
+  Metrics* metrics_ = nullptr;
   store::ReplicaStore store_;
   store::CommitLog log_;
   bool durable_log_ = false;
+  std::size_t max_tail_bytes_ = 0;
+  std::uint64_t log_autocuts_ = 0;
   std::uint64_t validation_failures_ = 0;
   std::uint64_t lease_breaks_ = 0;
   sim::Tick protection_lease_ = 0;

@@ -97,7 +97,7 @@ sim::Task<ObjectCopy> Txn::quorum_fetch(ObjectId id, bool for_write) {
   Writer w(rt_.rpc_.acquire_buffer(msg::kRead));
   encode_read_request(w, r.scope_id_, cfg.mode, id, for_write, ds);
 
-  const auto& rq = rt_.read_quorum();
+  const auto& rq = rt_.read_quorum(id);
   ++rt_.metrics().remote_reads;
   rt_.metrics().read_messages += rq.size();
 
@@ -552,22 +552,59 @@ TxnRuntime::TxnRuntime(net::RpcEndpoint& rpc, quorum::QuorumProvider& quorums,
 
 TxnRuntime::~TxnRuntime() = default;
 
-const std::vector<net::NodeId>& TxnRuntime::read_quorum() {
-  const std::uint64_t g = quorums_.generation();
-  if (rq_gen_ != g) {
-    rq_cache_ = quorums_.read_quorum(node());
-    rq_gen_ = g;
+const std::vector<net::NodeId>& TxnRuntime::cohort_read_quorum(
+    std::uint32_t cohort) {
+  if (rq_cache_.size() < quorums_.num_cohorts()) {
+    rq_cache_.resize(quorums_.num_cohorts());
   }
-  return rq_cache_;
+  CohortQuorum& q = rq_cache_[cohort];
+  const std::uint64_t g = quorums_.generation();
+  if (q.gen != g) {
+    q.nodes = quorums_.cohort_read_quorum(node(), cohort);
+    q.gen = g;
+  }
+  return q.nodes;
 }
 
-const std::vector<net::NodeId>& TxnRuntime::write_quorum() {
-  const std::uint64_t g = quorums_.generation();
-  if (wq_gen_ != g) {
-    wq_cache_ = quorums_.write_quorum(node());
-    wq_gen_ = g;
+const std::vector<net::NodeId>& TxnRuntime::cohort_write_quorum(
+    std::uint32_t cohort) {
+  if (wq_cache_.size() < quorums_.num_cohorts()) {
+    wq_cache_.resize(quorums_.num_cohorts());
   }
-  return wq_cache_;
+  CohortQuorum& q = wq_cache_[cohort];
+  const std::uint64_t g = quorums_.generation();
+  if (q.gen != g) {
+    q.nodes = quorums_.cohort_write_quorum(node(), cohort);
+    q.gen = g;
+  }
+  return q.nodes;
+}
+
+const std::vector<net::NodeId>& TxnRuntime::read_quorum(ObjectId id) {
+  return cohort_read_quorum(quorums_.cohort_of(id));
+}
+
+std::vector<net::NodeId> TxnRuntime::union_write_quorum(
+    const std::vector<ObjectId>& ids) {
+  const std::uint32_t n = quorums_.num_cohorts();
+  // Single cohort: the exact pre-shard behaviour (a copy of the one write
+  // quorum), no per-id hashing.
+  if (n <= 1) return cohort_write_quorum(0);
+  std::vector<bool> seen(n, false);
+  std::uint32_t distinct = 0;
+  std::vector<net::NodeId> out;
+  for (ObjectId id : ids) {
+    const std::uint32_t c = quorums_.cohort_of(id);
+    if (seen[c]) continue;
+    seen[c] = true;
+    ++distinct;
+    const auto& wq = cohort_write_quorum(c);
+    out.insert(out.end(), wq.begin(), wq.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (distinct > 1) ++metrics_.cross_shard_rounds;
+  return out;
 }
 
 ObjectId TxnRuntime::allocate_object_id() {
@@ -805,8 +842,14 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
 
   // Copy of the memoised quorum: a failure mid-commit may regenerate the
   // cache while we await votes, and the confirm must reach the same members
-  // the request went to.
-  const std::vector<net::NodeId> wq = write_quorum();
+  // the request went to.  The multicast spans the write quorums of every
+  // cohort the transaction touched -- the read-set cohorts included, since
+  // read validation only happens on nodes replicating those objects.
+  std::vector<ObjectId> touched;
+  touched.reserve(req.readset.size() + req.writeset.size());
+  for (const CommitReadEntry& e : req.readset) touched.push_back(e.id);
+  for (const CommitWriteEntry& e : req.writeset) touched.push_back(e.id);
+  const std::vector<net::NodeId> wq = union_write_quorum(touched);
   ++metrics_.commit_requests;
   metrics_.commit_messages += wq.size();
   Writer reqw(rpc_.acquire_buffer(msg::kCommitRequest));

@@ -105,6 +105,12 @@ struct RuntimeConfig {
   /// QR-Q: transactions per batch cap (bounds speculative state and the
   /// blast radius of one rollback).
   std::uint32_t batch_max_txns = 32;
+  /// Commit-log tail bound, in bytes: a replica whose record tail outgrows
+  /// this takes a checkpoint cut right after the append (amortised O(1):
+  /// each cut folds the tail into the image).  Without it the tail grows
+  /// without bound in a healthy long run -- nothing cuts between
+  /// recoveries and chaos-scheduled cuts.  0 disables the auto-cut.
+  std::size_t log_max_tail_bytes = std::size_t{1} << 20;
 };
 
 class BatchPlanner;
@@ -430,12 +436,22 @@ class TxnRuntime {
   /// Append the committed root's observable behaviour to the recorder.
   void record_commit_history(const Txn& root);
 
-  /// Memoised quorums: providers derive them deterministically from the
-  /// live set, so recompute only when the provider's generation() moves
-  /// (fail-stop).  The reference stays valid until the next call; commit
-  /// paths that span suspension points take a copy.
-  const std::vector<net::NodeId>& read_quorum();
-  const std::vector<net::NodeId>& write_quorum();
+  /// Memoised quorums, keyed on (generation, cohort): providers derive
+  /// them deterministically from the live set, so recompute only when the
+  /// provider's generation() moves (fail-stop / recovery).  The reference
+  /// stays valid until the next call for the same cohort; commit paths
+  /// that span suspension points take a copy.
+  const std::vector<net::NodeId>& cohort_read_quorum(std::uint32_t cohort);
+  const std::vector<net::NodeId>& cohort_write_quorum(std::uint32_t cohort);
+
+  /// The read quorum for `id`'s cohort (single-cohort providers: cohort 0,
+  /// the exact pre-shard quorum).
+  const std::vector<net::NodeId>& read_quorum(ObjectId id);
+
+  /// Sorted union of the write quorums of every cohort touched by `ids`.
+  /// Returns a fresh copy (commit paths suspend while awaiting votes) and
+  /// counts a cross-shard round when more than one cohort is involved.
+  std::vector<net::NodeId> union_write_quorum(const std::vector<ObjectId>& ids);
 
   net::RpcEndpoint& rpc_;
   quorum::QuorumProvider& quorums_;
@@ -451,8 +467,11 @@ class TxnRuntime {
   TxnId next_scope_id_;
   std::uint64_t next_object_seq_ = 1;
 
-  std::vector<net::NodeId> rq_cache_, wq_cache_;
-  std::uint64_t rq_gen_ = ~0ULL, wq_gen_ = ~0ULL;
+  struct CohortQuorum {
+    std::uint64_t gen = ~0ULL;
+    std::vector<net::NodeId> nodes;
+  };
+  std::vector<CohortQuorum> rq_cache_, wq_cache_;  // indexed by cohort
 };
 
 }  // namespace qrdtm::core

@@ -115,7 +115,8 @@ void TreeQuorumProvider::write_rec(NodeId v, std::uint64_t salt,
   }
 }
 
-std::vector<NodeId> TreeQuorumProvider::read_quorum(NodeId node) const {
+std::vector<NodeId> TreeQuorumProvider::cohort_read_quorum(
+    NodeId node, std::uint32_t) const {
   std::vector<NodeId> out;
   std::uint64_t salt = cfg_.same_for_all ? 0 : node + 1;
   read_rec(0, cfg_.read_level, salt, out);
@@ -124,7 +125,8 @@ std::vector<NodeId> TreeQuorumProvider::read_quorum(NodeId node) const {
   return out;
 }
 
-std::vector<NodeId> TreeQuorumProvider::write_quorum(NodeId node) const {
+std::vector<NodeId> TreeQuorumProvider::cohort_write_quorum(
+    NodeId node, std::uint32_t) const {
   std::vector<NodeId> out;
   std::uint64_t salt = cfg_.same_for_all ? 0 : node + 1;
   write_rec(0, salt, out);
@@ -176,11 +178,13 @@ std::vector<NodeId> MajorityQuorumProvider::pick(NodeId node,
   return out;
 }
 
-std::vector<NodeId> MajorityQuorumProvider::read_quorum(NodeId node) const {
+std::vector<NodeId> MajorityQuorumProvider::cohort_read_quorum(
+    NodeId node, std::uint32_t) const {
   return pick(node, n_ / 2 + 1);
 }
 
-std::vector<NodeId> MajorityQuorumProvider::write_quorum(NodeId node) const {
+std::vector<NodeId> MajorityQuorumProvider::cohort_write_quorum(
+    NodeId node, std::uint32_t) const {
   return pick(node, n_ / 2 + 1);
 }
 
@@ -206,7 +210,8 @@ FlatFailureAwareProvider::FlatFailureAwareProvider(std::uint32_t num_nodes)
   dead_.assign(n_, false);
 }
 
-std::vector<NodeId> FlatFailureAwareProvider::read_quorum(NodeId node) const {
+std::vector<NodeId> FlatFailureAwareProvider::cohort_read_quorum(
+    NodeId node, std::uint32_t) const {
   std::vector<NodeId> live;
   live.reserve(n_);
   for (NodeId i = 0; i < n_; ++i) {
@@ -230,7 +235,8 @@ std::vector<NodeId> FlatFailureAwareProvider::read_quorum(NodeId node) const {
   return out;
 }
 
-std::vector<NodeId> FlatFailureAwareProvider::write_quorum(NodeId) const {
+std::vector<NodeId> FlatFailureAwareProvider::cohort_write_quorum(
+    NodeId, std::uint32_t) const {
   std::vector<NodeId> live;
   live.reserve(n_);
   for (NodeId i = 0; i < n_; ++i) {
@@ -257,6 +263,80 @@ void FlatFailureAwareProvider::on_recovery(NodeId node) {
     --failures_;
     bump_generation();
   }
+}
+
+// ---------------------------------------------------------------- sharded
+
+ShardedQuorumProvider::ShardedQuorumProvider(Config cfg)
+    : cfg_(cfg), map_(cfg.num_shards) {
+  QRDTM_CHECK(cfg_.num_shards >= 1);
+  QRDTM_CHECK(cfg_.cohort_size >= 1);
+  QRDTM_CHECK(cfg_.cohort_size <= cfg_.num_nodes);
+  inner_.reserve(cfg_.num_shards);
+  for (std::uint32_t c = 0; c < cfg_.num_shards; ++c) {
+    if (cfg_.inner == Inner::kTree) {
+      TreeQuorumProvider::Config tc;
+      tc.num_nodes = cfg_.cohort_size;
+      tc.degree = cfg_.tree_degree;
+      tc.read_level = cfg_.tree_read_level;
+      tc.same_for_all = cfg_.same_for_all;
+      inner_.push_back(std::make_unique<TreeQuorumProvider>(tc));
+    } else {
+      inner_.push_back(std::make_unique<MajorityQuorumProvider>(
+          cfg_.cohort_size, cfg_.same_for_all));
+    }
+  }
+}
+
+std::vector<NodeId> ShardedQuorumProvider::cohort_read_quorum(
+    NodeId node, std::uint32_t cohort) const {
+  QRDTM_CHECK(cohort < cfg_.num_shards);
+  std::vector<NodeId> local =
+      inner_[cohort]->cohort_read_quorum(local_salt(node, cohort), 0);
+  for (NodeId& v : local) v = to_global(cohort, v);
+  std::sort(local.begin(), local.end());
+  return local;
+}
+
+std::vector<NodeId> ShardedQuorumProvider::cohort_write_quorum(
+    NodeId node, std::uint32_t cohort) const {
+  QRDTM_CHECK(cohort < cfg_.num_shards);
+  std::vector<NodeId> local =
+      inner_[cohort]->cohort_write_quorum(local_salt(node, cohort), 0);
+  for (NodeId& v : local) v = to_global(cohort, v);
+  std::sort(local.begin(), local.end());
+  return local;
+}
+
+void ShardedQuorumProvider::on_failure(NodeId dead) {
+  QRDTM_CHECK(dead < cfg_.num_nodes);
+  for (std::uint32_t c = 0; c < cfg_.num_shards; ++c) {
+    if (!member_of(dead, c)) continue;
+    const NodeId local = static_cast<NodeId>(
+        (dead + cfg_.num_nodes - cohort_start(c)) % cfg_.num_nodes);
+    inner_[c]->on_failure(local);
+  }
+  bump_generation();
+}
+
+void ShardedQuorumProvider::on_recovery(NodeId node) {
+  QRDTM_CHECK(node < cfg_.num_nodes);
+  for (std::uint32_t c = 0; c < cfg_.num_shards; ++c) {
+    if (!member_of(node, c)) continue;
+    const NodeId local = static_cast<NodeId>(
+        (node + cfg_.num_nodes - cohort_start(c)) % cfg_.num_nodes);
+    inner_[c]->on_recovery(local);
+  }
+  bump_generation();
+}
+
+std::vector<std::uint32_t> ShardedQuorumProvider::node_cohorts(
+    NodeId node) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t c = 0; c < cfg_.num_shards; ++c) {
+    if (member_of(node, c)) out.push_back(c);
+  }
+  return out;
 }
 
 }  // namespace qrdtm::quorum

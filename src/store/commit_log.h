@@ -90,6 +90,9 @@ class CommitLog {
 
   /// Durable footprint in bytes (image + tail).
   std::size_t size_bytes() const { return image_.size() + tail_.size(); }
+  /// Bytes appended since the last cut (the unbounded part of the
+  /// footprint; QrServer's max_tail_bytes auto-cut polices it).
+  std::size_t tail_bytes() const { return tail_.size(); }
   /// Records appended since the last cut.
   std::uint64_t tail_records() const { return tail_records_; }
   /// Checkpoint cuts taken over the log's lifetime.

@@ -4,6 +4,7 @@
 // pull) with the legacy full pull.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <utility>
 #include <vector>
@@ -299,6 +300,61 @@ TEST(CommitLogCluster, NoMissedCommitsMeansEmptyDelta) {
   EXPECT_EQ(c.metrics().recovery_delta_objects, 0u)
       << "replay already restored every seed; peers must ship nothing";
   EXPECT_GT(c.metrics().log_replay_applies, 0u);
+}
+
+// Regression: nothing ever cut a checkpoint automatically, so a replica's
+// durable tail grew for as long as the workload ran -- footprint
+// O(commits), not O(store).  runtime.log_max_tail_bytes (on by default)
+// forces a cut on the first append past the bound.
+TEST(CommitLogCluster, AutoCutBoundsTailGrowth) {
+  struct Footprint {
+    std::size_t max_tail = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t autocuts = 0;
+  };
+  auto run = [](std::size_t bound) {
+    ClusterConfig cfg;
+    cfg.num_nodes = 7;
+    cfg.quorum = QuorumKind::kMajority;
+    cfg.seed = 51;
+    cfg.runtime.log_max_tail_bytes = bound;
+    Cluster c(cfg);
+    std::vector<ObjectId> objs;
+    for (int i = 0; i < 4; ++i) {
+      objs.push_back(c.seed_new_object(Bytes(32, std::uint8_t{1})));
+    }
+    for (net::NodeId n : {net::NodeId{0}, net::NodeId{1}, net::NodeId{2}}) {
+      c.spawn_loop_client(n, [&objs](Rng& rng) {
+        return bump_body(objs[rng.below(objs.size())]);
+      });
+    }
+    c.run_for(sim::sec(5));
+    c.run_to_completion();
+    Footprint f;
+    f.commits = c.metrics().commits;
+    f.autocuts = c.metrics().log_autocuts;
+    for (std::uint32_t n = 0; n < c.num_nodes(); ++n) {
+      f.max_tail = std::max(
+          f.max_tail,
+          c.server(static_cast<net::NodeId>(n)).commit_log().tail_bytes());
+    }
+    return f;
+  };
+
+  constexpr std::size_t kBound = 4096;
+  const Footprint bounded = run(kBound);
+  ASSERT_GT(bounded.commits, 50u);
+  EXPECT_GT(bounded.autocuts, 0u);
+  // The cut fires on the append that crosses the bound, so a quiescent tail
+  // sits at most one record past it (plus carried in-flight prepares).
+  EXPECT_LE(bounded.max_tail, kBound + 512);
+
+  // Control: the pre-fix behaviour (bound disabled) leaves the same
+  // workload's tail far past the bound and never cuts.
+  const Footprint unbounded = run(0);
+  EXPECT_EQ(unbounded.autocuts, 0u);
+  EXPECT_GT(unbounded.max_tail, kBound);
+  EXPECT_GT(unbounded.max_tail, bounded.max_tail);
 }
 
 }  // namespace

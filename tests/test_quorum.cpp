@@ -310,6 +310,176 @@ TEST(QuorumChurnProperty, TreeRootRejoinRestoresWrites) {
   EXPECT_EQ(wq.size(), 7u);
 }
 
+// Regression pin (Fig. 10): the deliberate single-node hotspot returns the
+// moment the LAST outstanding failure heals -- on_recovery back to zero
+// failures must collapse every client's read quorum to the shared node-0
+// assignment, while any failures >= 1 keep assignments rotating per client.
+TEST(FlatFailureAware, HotspotCollapsesWhenAllFailuresHeal) {
+  FlatFailureAwareProvider q(28);
+  q.on_failure(5);
+  q.on_failure(9);
+  q.on_recovery(5);
+  // One failure still outstanding: quorums stay spread across clients.
+  std::set<std::vector<net::NodeId>> distinct;
+  for (net::NodeId n = 0; n < 28; ++n) {
+    if (n == 9) continue;
+    distinct.insert(q.read_quorum(n));
+  }
+  EXPECT_GT(distinct.size(), 1u)
+      << "rotation must persist while any failure is outstanding";
+  q.on_recovery(9);
+  distinct.clear();
+  for (net::NodeId n = 0; n < 28; ++n) distinct.insert(q.read_quorum(n));
+  EXPECT_EQ(distinct.size(), 1u)
+      << "all failures healed: back to the single shared hotspot";
+  EXPECT_EQ(q.read_quorum(17), std::vector<net::NodeId>{0});
+}
+
+// CohortMap is pure arithmetic: deterministic and roughly balanced, so the
+// shard an object lands on is the same on every node with no coordination.
+TEST(CohortMap, DeterministicAndRoughlyBalanced) {
+  const CohortMap m(16);
+  std::vector<int> counts(16, 0);
+  for (store::ObjectId id = 1; id <= 4096; ++id) {
+    ASSERT_LT(m.shard_of(id), 16u);
+    ASSERT_EQ(m.shard_of(id), m.shard_of(id));
+    ++counts[m.shard_of(id)];
+  }
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    // Expected 256 per shard; the finalizer should stay within 2x skew.
+    EXPECT_GT(counts[s], 128) << "shard " << s << " starved";
+    EXPECT_LT(counts[s], 512) << "shard " << s << " overloaded";
+  }
+}
+
+// Every member a cohort quorum hands out must actually replicate that
+// cohort (node_cohorts/replicates/cohort_of agree with the quorums).
+TEST(ShardedQuorum, QuorumMembersReplicateTheirCohort) {
+  ShardedQuorumProvider::Config cfg;
+  cfg.num_nodes = 52;
+  cfg.num_shards = 8;
+  cfg.cohort_size = 13;
+  ShardedQuorumProvider q(cfg);
+  ASSERT_EQ(q.num_cohorts(), 8u);
+  const CohortMap map(8);
+  for (store::ObjectId id = 1; id <= 64; ++id) {
+    EXPECT_EQ(q.cohort_of(id), map.shard_of(id));
+  }
+  for (std::uint32_t cohort = 0; cohort < q.num_cohorts(); ++cohort) {
+    for (const std::vector<net::NodeId>& quorum :
+         {q.cohort_read_quorum(3, cohort), q.cohort_write_quorum(3, cohort)}) {
+      EXPECT_FALSE(quorum.empty());
+      for (net::NodeId member : quorum) {
+        const std::vector<std::uint32_t> cs = q.node_cohorts(member);
+        EXPECT_NE(std::find(cs.begin(), cs.end(), cohort), cs.end())
+            << "cohort " << cohort << " quorum handed out node " << member
+            << ", which does not replicate it";
+      }
+    }
+  }
+}
+
+// Per-cohort Q1/Q2 churn property: under 200 random kill/rejoin steps every
+// cohort's read quorums must keep intersecting its write quorums (Q1), its
+// write quorums must pairwise intersect (Q2), no quorum may contain a dead
+// member, and every membership change must bump the provider generation.
+TEST(ShardedQuorum, CohortIntersectionInvariantsUnderChurn) {
+  ShardedQuorumProvider::Config cfg;
+  cfg.num_nodes = 52;
+  cfg.num_shards = 8;
+  cfg.cohort_size = 13;
+  cfg.same_for_all = false;
+  ShardedQuorumProvider q(cfg);
+  qrdtm::Rng rng(0xfeedfaceu);
+  std::vector<net::NodeId> dead;
+  std::uint64_t last_gen = q.generation();
+  for (int step = 0; step < 200; ++step) {
+    const bool kill = dead.size() < 4 && (dead.empty() || rng.below(2) == 0);
+    if (kill) {
+      net::NodeId v;
+      do {
+        v = static_cast<net::NodeId>(rng.below(cfg.num_nodes));
+      } while (std::find(dead.begin(), dead.end(), v) != dead.end());
+      q.on_failure(v);
+      dead.push_back(v);
+    } else {
+      const std::size_t i = rng.below(dead.size());
+      const net::NodeId v = dead[i];
+      dead.erase(dead.begin() + static_cast<std::ptrdiff_t>(i));
+      q.on_recovery(v);
+    }
+    ASSERT_GT(q.generation(), last_gen) << "step " << step;
+    last_gen = q.generation();
+    for (std::uint32_t cohort = 0; cohort < q.num_cohorts(); ++cohort) {
+      for (net::NodeId a : {net::NodeId{0}, net::NodeId{17}, net::NodeId{40}}) {
+        std::vector<net::NodeId> rq;
+        std::vector<net::NodeId> wq;
+        try {
+          rq = q.cohort_read_quorum(a, cohort);
+          wq = q.cohort_write_quorum(a, cohort);
+        } catch (const QuorumUnavailable&) {
+          // Legitimate: e.g. a cohort's inner tree root is dead.  Refusing
+          // is safe; handing out a non-intersecting quorum is not.
+          continue;
+        }
+        for (net::NodeId d : dead) {
+          ASSERT_EQ(std::find(rq.begin(), rq.end(), d), rq.end())
+              << "step " << step << " cohort " << cohort << ": dead " << d
+              << " in read quorum";
+          ASSERT_EQ(std::find(wq.begin(), wq.end(), d), wq.end())
+              << "step " << step << " cohort " << cohort << ": dead " << d
+              << " in write quorum";
+        }
+        for (net::NodeId b : {net::NodeId{9}, net::NodeId{31}}) {
+          std::vector<net::NodeId> wqb;
+          try {
+            wqb = q.cohort_write_quorum(b, cohort);
+          } catch (const QuorumUnavailable&) {
+            continue;
+          }
+          ASSERT_TRUE(intersects(rq, wqb))
+              << "step " << step << " cohort " << cohort
+              << ": Q1 violated for salts " << a << "," << b;
+          ASSERT_TRUE(intersects(wq, wqb))
+              << "step " << step << " cohort " << cohort
+              << ": Q2 violated for salts " << a << "," << b;
+        }
+      }
+    }
+  }
+  // Rejoin everyone: every cohort must be writable again.
+  for (net::NodeId v : dead) q.on_recovery(v);
+  for (std::uint32_t cohort = 0; cohort < q.num_cohorts(); ++cohort) {
+    EXPECT_TRUE(intersects(q.cohort_read_quorum(1, cohort),
+                           q.cohort_write_quorum(2, cohort)))
+        << "cohort " << cohort;
+  }
+}
+
+// The same churn with majority cohorts (the chaos fuzzer's configuration):
+// no inner root exists, so quorums must stay AVAILABLE as well as correct
+// whenever fewer than half a cohort is dead.
+TEST(ShardedQuorum, MajorityCohortsStayAvailableUnderMinorityFailures) {
+  ShardedQuorumProvider::Config cfg;
+  cfg.num_nodes = 13;
+  cfg.num_shards = 4;
+  cfg.cohort_size = 7;
+  cfg.inner = ShardedQuorumProvider::Inner::kMajority;
+  ShardedQuorumProvider q(cfg);
+  q.on_failure(2);
+  q.on_failure(8);
+  for (std::uint32_t cohort = 0; cohort < q.num_cohorts(); ++cohort) {
+    std::vector<net::NodeId> rq;
+    std::vector<net::NodeId> wq;
+    ASSERT_NO_THROW(rq = q.cohort_read_quorum(0, cohort)) << cohort;
+    ASSERT_NO_THROW(wq = q.cohort_write_quorum(5, cohort)) << cohort;
+    EXPECT_TRUE(intersects(rq, wq)) << cohort;
+    for (net::NodeId d : {net::NodeId{2}, net::NodeId{8}}) {
+      EXPECT_EQ(std::find(wq.begin(), wq.end(), d), wq.end()) << cohort;
+    }
+  }
+}
+
 TEST(Intersects, Basics) {
   EXPECT_TRUE(intersects({1, 2, 3}, {3, 4}));
   EXPECT_FALSE(intersects({1, 2}, {3, 4}));

@@ -255,6 +255,45 @@ TEST(Recovery, EndToEndChurnStaysSerializable) {
   EXPECT_TRUE(r.ok) << r.report;
 }
 
+// Regression: exhausting every delta-pull attempt used to end the recovery
+// coroutine *silently* -- no metric, no further attempts, the node syncing
+// (and excluded from quorums) forever.  A churn schedule that starved the
+// pull window therefore wedged the node permanently.  Now a starved budget
+// counts metrics().recovery_failures and schedules another bounded round,
+// so the node still rejoins once the network heals.
+TEST(Recovery, StarvedCatchUpCountsFailuresAndRetriesAfterHeal) {
+  ClusterConfig cfg;
+  cfg.seed = 29;
+  // Keep one 32-attempt round short: fast links plus a tight (but still
+  // RTT-covering) timeout make a round ~1.3 s simulated.
+  cfg.link_latency = sim::msec(1);
+  cfg.link_jitter = sim::msec(1);
+  cfg.runtime.rpc_timeout = sim::msec(20);
+  Cluster c(cfg);
+  const ObjectId obj = c.seed_new_object(Bytes{1});
+
+  c.kill_node(7);
+  // Isolate node 7: every pull request crosses the cut and is dropped, so
+  // all kAttempts delta pulls time out.
+  c.network().set_partition({net::NodeId{7}});
+  c.recover_node(7);
+  // One round = 32 attempts x (timeout + backoff) ~= 1.3 s simulated.
+  c.advance_for(sim::sec(2));
+  EXPECT_GE(c.metrics().recovery_failures, 1u)
+      << "a starved attempt budget must be counted, not silently dropped";
+  EXPECT_TRUE(c.server(7).syncing());
+  EXPECT_EQ(c.metrics().node_recoveries, 0u);
+
+  // Heal the partition: the scheduled re-attempt round must complete the
+  // pull and re-admit the node.  Pre-fix the coroutine was already gone
+  // here and the node stayed syncing no matter how long the run continued.
+  c.network().clear_partition();
+  c.run_to_completion();
+  EXPECT_FALSE(c.server(7).syncing());
+  EXPECT_EQ(c.metrics().node_recoveries, 1u);
+  EXPECT_EQ(c.server(7).store().version_of(obj), 1u);
+}
+
 // The same churn driven through a FaultSchedule armed on the Cluster: the
 // schedule's recover events must run the full catch-up path.
 TEST(Recovery, ArmedChurnScheduleRecoversAndStaysSerializable) {

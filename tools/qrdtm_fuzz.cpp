@@ -57,6 +57,11 @@ struct ComboSpec {
   std::uint32_t txns_per_client = 6;
   std::uint32_t num_objects = kBankAccounts;
   bool break_validation = false;
+  /// QR only: > 0 runs the cluster on sharded quorum cohorts (partial
+  /// replication) with this many shards, majority inner quorums of 7 over
+  /// the 13 nodes -- no single cohort root, so churn schedules' kills
+  /// cannot wedge a whole cohort.
+  std::uint32_t shards = 0;
 };
 
 struct ComboResult {
@@ -183,6 +188,12 @@ ComboResult run_qr(const ComboSpec& c) {
   cfg.seed = c.seed;
   cfg.runtime.mode = c.mode;
   cfg.test_skip_commit_validation = c.break_validation;
+  if (c.shards > 0) {
+    cfg.quorum = core::QuorumKind::kSharded;
+    cfg.num_shards = c.shards;
+    cfg.cohort_size = 7;
+    cfg.sharded_majority_inner = true;
+  }
 
   core::Cluster cluster(cfg);
   ComboResult out;
@@ -619,6 +630,7 @@ struct Options {
   std::vector<std::string> apps = {"bank", "vacation"};
   bool break_validation = false;
   bool break_recovery = false;
+  std::uint32_t shards = 0;  // qr only: sharded cohorts with N shards
   std::string repro;  // proto:mode:app:seed:sched
 };
 
@@ -637,6 +649,9 @@ void usage() {
       "  --modes CSV         subset of flat,closed,checkpoint,queued "
       "(qr only)\n"
       "  --apps CSV          subset of bank,vacation (qr only)\n"
+      "  --shards N          qr only: run on sharded quorum cohorts\n"
+      "                      (N shards, majority cohorts of 7; default 0 =\n"
+      "                      full replication)\n"
       "  --trace-dir DIR     where counterexample traces are written\n"
       "  --repro SPEC        run one combo: proto:mode:app:seed:sched\n"
       "  --break-validation  disable replica commit validation and require\n"
@@ -706,6 +721,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.sched_base = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--txns") {
       opt.txns = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--shards") {
+      opt.shards = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--trace-dir") {
       opt.trace_dir = val;
     } else if (flag == "--protocols") {
@@ -808,6 +825,7 @@ int main(int argc, char** argv) {
     c.sched = static_cast<std::uint32_t>(std::atoi(parts[4].c_str()));
     c.txns_per_client = opt.txns;
     c.break_validation = opt.break_validation;
+    c.shards = opt.shards;
     if (c.break_validation) c.num_objects = 4;
     combos.push_back(c);
   } else if (opt.break_recovery) {
@@ -892,6 +910,7 @@ int main(int argc, char** argv) {
             base.mode = mode;
             base.app = app;
             base.txns_per_client = opt.txns;
+            base.shards = opt.shards;
             push_seeds(base);
           }
         }

@@ -31,8 +31,12 @@ void usage() {
       "  --objects N       app population (default: per-app)\n"
       "  --seconds S       simulated duration (default 60)\n"
       "  --seed N          deterministic seed (default 1)\n"
-      "  --quorum KIND     tree|majority|flat-failure (default tree)\n"
+      "  --quorum KIND     tree|majority|flat-failure|sharded (default "
+      "tree)\n"
       "  --read-level N    tree read level (default 1)\n"
+      "  --shards N        sharded quorum: cohort count (default 16)\n"
+      "  --cohort-size N   sharded quorum: replicas per cohort (default "
+      "13)\n"
       "  --failures N      fail-stops before the run (default 0)\n"
       "  --chk-threshold N objects per checkpoint (default 1)\n"
       "  --batch-window MS queued-mode batch formation window (default 10)\n"
@@ -98,6 +102,8 @@ bool parse(int argc, char** argv, ExperimentConfig& cfg,
         cfg.quorum = core::QuorumKind::kMajority;
       } else if (val == "flat-failure") {
         cfg.quorum = core::QuorumKind::kFlatFailureAware;
+      } else if (val == "sharded") {
+        cfg.quorum = core::QuorumKind::kSharded;
       } else {
         std::fprintf(stderr, "unknown quorum %s\n", val.c_str());
         return false;
@@ -105,6 +111,10 @@ bool parse(int argc, char** argv, ExperimentConfig& cfg,
     } else if (flag == "--read-level") {
       cfg.tree_read_level =
           static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--shards") {
+      cfg.num_shards = static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    } else if (flag == "--cohort-size") {
+      cfg.cohort_size = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--failures") {
       cfg.failures = static_cast<std::uint32_t>(std::atoi(val.c_str()));
     } else if (flag == "--chk-threshold") {
