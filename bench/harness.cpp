@@ -77,6 +77,29 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     });
   }
 
+  // Coordinator churn: rotate kill+restart cycles over the client-hosting
+  // nodes, so commit rounds keep dying inside the vote->confirm window and
+  // the in-doubt machinery (decision re-drive, termination) is on the
+  // commit-latency critical path.
+  if (cfg.coordinator_kill_period > 0) {
+    std::vector<net::NodeId> coords;
+    for (std::size_t i = 0; i < spread; ++i) {
+      if (alive[i] != 0) coords.push_back(alive[i]);  // 0 hosts the checker
+    }
+    std::size_t next = 0;
+    for (sim::Tick at = cfg.coordinator_kill_period;
+         !coords.empty() && at + cfg.coordinator_down_for < cfg.duration;
+         at += cfg.coordinator_kill_period) {
+      const net::NodeId victim = coords[next++ % coords.size()];
+      cluster.simulator().schedule_at(at, [&cluster, victim] {
+        if (cluster.network().alive(victim)) cluster.kill_node(victim);
+      });
+      cluster.simulator().schedule_at(
+          at + cfg.coordinator_down_for,
+          [&cluster, victim] { cluster.recover_node(victim); });
+    }
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
   cluster.run_for(cfg.duration);
   const auto wall_end = std::chrono::steady_clock::now();

@@ -61,6 +61,15 @@ struct ExperimentConfig {
   /// comparing kQueued against the per-transaction modes co-locate clients.
   std::uint32_t client_nodes = 0;
 
+  /// Coordinator churn (Fig. 10 coord column): every period, fail-stop one
+  /// client-hosting node -- killing whatever 2PC rounds it is coordinating
+  /// mid-flight -- and restart it `coordinator_down_for` later (decision
+  /// re-drive + termination resolve the orphans, DESIGN.md §17).  Victims
+  /// rotate round-robin over the client nodes except node 0, which hosts
+  /// the integrity checker.  0 = off.
+  sim::Tick coordinator_kill_period = 0;
+  sim::Tick coordinator_down_for = sim::msec(500);
+
   /// Network overrides (0 = ClusterConfig defaults).
   sim::Tick link_latency = 0;
   sim::Tick service_time = 0;

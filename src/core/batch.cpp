@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/faultpoint.h"
 #include "core/history.h"
+#include "store/commit_log.h"
 
 namespace qrdtm::core {
 
@@ -160,7 +162,20 @@ sim::Task<bool> BatchPlanner::commit_round(TxnId batch_id,
   // the request went to even if a failure regenerates the cache mid-round.
   // order_ holds every batch object (reads and writes), so the union spans
   // all touched cohorts.
-  const std::vector<net::NodeId> wq = rt_.union_write_quorum(order_);
+  std::vector<net::NodeId> wq;
+  try {
+    wq = rt_.union_write_quorum(order_);
+  } catch (AbortException&) {
+    // Unformable quorum under a zombie coordinator: infrastructure
+    // failure, re-fetch everything on the next round.
+    stale->clear();
+    co_return false;
+  } catch (const quorum::QuorumUnavailable&) {
+    // Live coordinator but too many members down mid-chaos: equally
+    // transient, same recovery -- retry once membership heals.
+    stale->clear();
+    co_return false;
+  }
   ++rt_.metrics().commit_requests;
   rt_.metrics().commit_messages += wq.size();
   Writer reqw(rt_.rpc_.acquire_buffer(msg::kBatchCommitRequest));
@@ -201,15 +216,53 @@ sim::Task<bool> BatchPlanner::commit_round(TxnId batch_id,
     Writer cw(rt_.rpc_.acquire_buffer(msg::kBatchCommitConfirm));
     confirm.encode_into(cw);
     Bytes encoded = std::move(cw).take();
+
+    // Durable decision record before any confirm leaves, same contract as
+    // the per-transaction path (DESIGN.md §17); one decision covers the
+    // whole batch.
+    const bool log_decision = rt_.local_log_ != nullptr;
+    if (log_decision) {
+      const FaultAction at_decision =
+          rt_.faults_ != nullptr
+              ? rt_.faults_->fire(fp::kDecisionBeforeLog, rt_.node())
+              : FaultAction::kNone;
+      if (at_decision == FaultAction::kPanic) {
+        // Crashed before the decision was durable: no confirm leaves and
+        // the batch must not succeed -- members retry (and stall against
+        // the dead node) while the prepared replicas presumed-abort.
+        rt_.rpc_.release_buffer(std::move(encoded));
+        stale->clear();
+        co_return false;
+      }
+      if (at_decision != FaultAction::kSkip) {
+        store::Decision d;
+        d.epoch = rt_.rpc_.network().epoch(rt_.node());
+        d.commit = all_commit;
+        d.confirm_kind = msg::kBatchCommitConfirm;
+        d.members.assign(wq.begin(), wq.end());
+        d.payload = encoded;
+        rt_.local_log_->append_decision(batch_id, std::move(d));
+      }
+    }
+
     rt_.metrics().commit_messages += wq.size();
     if (rt_.tracer_ != nullptr) rt_.rpc_.set_trace_context(batch_id);
+    bool died_mid_broadcast = false;
     for (net::NodeId n : wq) {
+      if (rt_.faults_ != nullptr &&
+          rt_.faults_->fire(fp::kConfirmPartial, rt_.node()) ==
+              FaultAction::kPanic) {
+        died_mid_broadcast = true;
+      }
       Bytes copy = rt_.rpc_.acquire_buffer(msg::kBatchCommitConfirm);
       copy.assign(encoded.begin(), encoded.end());
       rt_.rpc_.notify(n, msg::kBatchCommitConfirm, std::move(copy));
     }
     if (rt_.tracer_ != nullptr) rt_.rpc_.set_trace_context(0);
     rt_.rpc_.release_buffer(std::move(encoded));
+    if (log_decision && !died_mid_broadcast) {
+      rt_.local_log_->settle_decision(batch_id);
+    }
 
     // One commit-settle per *batch*: the confirm-propagation charge is paid
     // once for the whole cohort, not once per member transaction.
@@ -258,6 +311,11 @@ sim::Task<void> BatchPlanner::run_batch(std::vector<Pending> batch) {
         // state to diagnose, so the whole round restarts from fresh fetches.
         exec_ok = false;
         exec_abort_reason = a.reason;
+      } catch (const quorum::QuorumUnavailable& e) {
+        // Live member, quorum transiently unformable mid-chaos: same
+        // restart-from-fresh-fetches treatment as an infrastructure abort.
+        exec_ok = false;
+        exec_abort_reason = e.what();
       }
       if (!exec_ok) break;
       absorb(txn, rec != nullptr ? &records : nullptr);

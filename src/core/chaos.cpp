@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "core/cluster.h"
+#include "core/faultpoint.h"
 #include "core/history.h"
 #include "quorum/quorum.h"
 
@@ -143,6 +144,32 @@ FaultSchedule FaultSchedule::generate(std::uint64_t seed,
     std::sort(s.cuts.begin(), s.cuts.end(),
               [](const Cut& a, const Cut& b) { return a.at < b.at; });
   }
+
+  // Orphan-2PC windows: nodes drawn with replacement (a coordinator may be
+  // crashed in several windows across its restarts); times in the middle of
+  // the horizon like kills, so prepares exist before and the termination
+  // protocol has room to run after.  Drawn after every older family so
+  // legacy schedules stay bit-identical.
+  if (opts.orphan_windows > 0 && !opts.orphan_candidates.empty()) {
+    const sim::Tick lo = opts.horizon / 5;
+    const sim::Tick span = opts.horizon - 2 * lo;
+    for (std::uint32_t w = 0; w < opts.orphan_windows; ++w) {
+      Orphan o;
+      o.at = lo + rng.below(span > 0 ? span : 1);
+      o.node = opts.orphan_candidates[static_cast<std::size_t>(
+          rng.below(opts.orphan_candidates.size()))];
+      // stage 0 crashes before the decision record; 1..3 crash after the
+      // decision with 0..2 confirms already delivered (a strict subset of
+      // any write quorum in the configurations the fuzzer runs).
+      o.stage = static_cast<std::uint32_t>(rng.below(4));
+      const sim::Tick jitter = rng.below(
+          opts.orphan_recover_jitter > 0 ? opts.orphan_recover_jitter : 1);
+      o.recover_at = o.at + opts.orphan_recover_after + jitter;
+      s.orphans.push_back(o);
+    }
+    std::sort(s.orphans.begin(), s.orphans.end(),
+              [](const Orphan& a, const Orphan& b) { return a.at < b.at; });
+  }
   return s;
 }
 
@@ -269,6 +296,43 @@ void FaultSchedule::arm(Cluster& cluster, HistoryRecorder* recorder) const {
       }
     });
   }
+  // Orphan-2PC: arm a one-shot kPanic on the victim so its NEXT commit
+  // crashes inside the vote->confirm window (the panic handler kills the
+  // node); the paired restart runs the full recovery + decision re-drive.
+  // Re-arming replaces any earlier unfired window -- a quiet coordinator
+  // just hands its crash to the next window's victim.
+  for (const Orphan& o : orphans) {
+    sim.schedule_at(o.at, [&sim, &cluster, recorder, o] {
+      if (o.stage == 0) {
+        cluster.fault_points().arm(fp::kDecisionBeforeLog, FaultAction::kPanic,
+                                   o.node);
+      } else {
+        cluster.fault_points().arm(fp::kConfirmPartial, FaultAction::kPanic,
+                                   o.node, 1, o.stage - 1);
+      }
+      if (recorder != nullptr) {
+        std::string d;
+        appendf(d, "orphan-2pc arm node %u stage=%u", o.node, o.stage);
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+    sim.schedule_at(o.recover_at, [&sim, &cluster, recorder, o] {
+      // Close the window: an arming the victim never hit must not linger,
+      // or it would kill the node AFTER this recovery and leave it down
+      // (a decision record stranded on a dead log blocks in-doubt peers
+      // forever -- correctly, but the schedule promised a restart).
+      const char* point =
+          o.stage == 0 ? fp::kDecisionBeforeLog : fp::kConfirmPartial;
+      cluster.fault_points().disarm_if_node(point, o.node);
+      const bool was_dead = !cluster.network().alive(o.node);
+      cluster.recover_node(o.node);
+      if (recorder != nullptr && was_dead) {
+        std::string d;
+        appendf(d, "orphan-2pc recover node %u (catch-up)", o.node);
+        recorder->record_fault(sim.now(), std::move(d));
+      }
+    });
+  }
   arm_network_faults(sim, cluster.network(), recorder);
 }
 
@@ -297,6 +361,12 @@ std::string FaultSchedule::describe() const {
   for (const Cut& c : cuts) {
     appendf(out, "  cut   t=%8.1f ms node=%u\n",
             static_cast<double>(c.at) * 1e-6, c.node);
+  }
+  for (const Orphan& o : orphans) {
+    appendf(out,
+            "  orphan t=%8.1f ms node=%u stage=%u recover=%.1f ms\n",
+            static_cast<double>(o.at) * 1e-6, o.node, o.stage,
+            static_cast<double>(o.recover_at) * 1e-6);
   }
   for (const Partition& p : partitions) {
     appendf(out, "  partition t=%8.1f ms len=%.1f ms side_a={",

@@ -87,6 +87,19 @@ struct ChaosOptions {
   /// "torn-checkpoint" flavor).  Only meaningful when armed on a Cluster.
   std::uint32_t checkpoint_cuts = 0;
   std::vector<net::NodeId> cut_candidates;
+
+  /// Orphan-2PC windows (fuzz flavor "orphan-2pc"): steer a coordinator
+  /// crash into its vote->confirm window by arming a one-shot kPanic fault
+  /// point (fp::kDecisionBeforeLog, or fp::kConfirmPartial with a random
+  /// number of confirms already delivered) on a node drawn from
+  /// orphan_candidates, leaving prepared protections in-doubt on the write
+  /// quorum.  The victim restarts orphan_recover_after (+jitter) later.
+  /// Candidates should be the client/coordinator nodes.  Only meaningful
+  /// when armed on a Cluster (needs fault points + full recovery).
+  std::uint32_t orphan_windows = 0;
+  std::vector<net::NodeId> orphan_candidates;
+  sim::Tick orphan_recover_after = sim::sec(1);
+  sim::Tick orphan_recover_jitter = sim::msec(200);
 };
 
 struct FaultSchedule {
@@ -119,6 +132,13 @@ struct FaultSchedule {
     sim::Tick at = 0;
     net::NodeId node = 0;
   };
+  struct Orphan {
+    sim::Tick at = 0;          // when the kPanic fault point is armed
+    net::NodeId node = 0;      // coordinator to crash
+    std::uint32_t stage = 0;   // 0 = before decision log; k>=1 = panic on
+                               // the k-th confirm send (k-1 delivered)
+    sim::Tick recover_at = 0;  // restart (no-op if the point never fired)
+  };
 
   std::vector<Kill> kills;
   std::vector<Burst> bursts;
@@ -126,6 +146,7 @@ struct FaultSchedule {
   std::vector<Recover> recovers;
   std::vector<Partition> partitions;
   std::vector<Cut> cuts;
+  std::vector<Orphan> orphans;
   bool kills_notify_provider = true;
 
   /// Derive a schedule from (seed, num_nodes, options).  Pure and
@@ -154,7 +175,8 @@ struct FaultSchedule {
 
   bool empty() const {
     return kills.empty() && bursts.empty() && spikes.empty() &&
-           recovers.empty() && partitions.empty() && cuts.empty();
+           recovers.empty() && partitions.empty() && cuts.empty() &&
+           orphans.empty();
   }
 
   /// One-line-per-event human-readable description.

@@ -98,6 +98,11 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
     servers_.back()->set_quorum_provider(quorums_.get());
     servers_.back()->set_metrics(&metrics_);
     servers_.back()->set_max_tail_bytes(cfg_.runtime.log_max_tail_bytes);
+    if (cfg_.durable_log) {
+      // Coordinator decision records (DESIGN.md §17) share the co-located
+      // replica's WAL, so a node restart recovers both roles together.
+      runtimes_.back()->set_local_log(&servers_.back()->commit_log());
+    }
     if (cfg_.test_skip_commit_validation) {
       servers_.back()->set_validation_disabled_for_test(true);
     }
@@ -225,6 +230,10 @@ void Cluster::recover_node(net::NodeId node) {
       server.store().clear_all();
     } else {
       metrics_.log_replay_applies += server.replay_commit_log();
+      // Coordinator failover half of DESIGN.md §17: confirm broadcasts that
+      // were decided but not settled before the crash are re-sent now,
+      // at-least-once -- receivers dedupe on (txn, epoch).
+      server.redrive_open_decisions();
     }
   } else {
     // PR-5 model: committed versions survive, in-flight 2PC bookkeeping

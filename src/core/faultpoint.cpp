@@ -7,14 +7,21 @@
 namespace qrdtm {
 
 void FaultPointRegistry::arm(const std::string& name, FaultAction action,
-                             net::NodeId node, std::uint32_t uses) {
+                             net::NodeId node, std::uint32_t uses,
+                             std::uint32_t delay_fires) {
   QRDTM_CHECK_MSG(action != FaultAction::kNone, "arm with kNone");
   QRDTM_CHECK_MSG(uses > 0, "arm with zero uses");
-  armings_[name] = Arming{action, node, uses};
+  armings_[name] = Arming{action, node, uses, delay_fires};
 }
 
 void FaultPointRegistry::disarm(const std::string& name) {
   armings_.erase(name);
+}
+
+void FaultPointRegistry::disarm_if_node(const std::string& name,
+                                        net::NodeId node) {
+  auto it = armings_.find(name);
+  if (it != armings_.end() && it->second.node == node) armings_.erase(it);
 }
 
 FaultAction FaultPointRegistry::fire(const char* name, net::NodeId node) {
@@ -23,6 +30,10 @@ FaultAction FaultPointRegistry::fire(const char* name, net::NodeId node) {
   if (it == armings_.end()) return FaultAction::kNone;
   Arming& a = it->second;
   if (a.node != kAnyNode && a.node != node) return FaultAction::kNone;
+  if (a.delay > 0) {
+    --a.delay;
+    return FaultAction::kNone;
+  }
   ++hits_[it->first];
   const FaultAction action = a.action;
   if (a.remaining != kUnlimited && --a.remaining == 0) armings_.erase(it);

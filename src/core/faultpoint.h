@@ -60,6 +60,16 @@ inline constexpr const char* kRecoverySkipReplay = "recovery.skip_replay";
 /// Recovery about to run the anti-entropy delta pull (skip = trust the
 /// local replay alone).
 inline constexpr const char* kRecoverySkipSync = "recovery.skip_sync";
+/// Coordinator between resolving the votes and appending the decision
+/// record (skip = the --break-termination bug: confirms go out with no
+/// durable decision, so a crash-restart presumed-aborts an acked commit).
+inline constexpr const char* kDecisionBeforeLog = "server.decision.before_log";
+/// Coordinator inside the confirm broadcast loop, once per write-quorum
+/// member (panic + delay_fires = crash after a strict subset of the
+/// confirms left the node).
+inline constexpr const char* kConfirmPartial = "server.confirm.partial";
+/// Replica about to multicast a termination-round TxnStatusRequest.
+inline constexpr const char* kTermQuery = "term.query";
 }  // namespace fp
 
 class FaultPointRegistry {
@@ -79,10 +89,18 @@ class FaultPointRegistry {
   }
 
   /// Arm `name`: the next `uses` matching fires return `action`.  One
-  /// arming per name; re-arming replaces it.
+  /// arming per name; re-arming replaces it.  `delay_fires` lets the first N
+  /// matching fires pass through (kNone, not counted as hits) before the
+  /// action triggers -- e.g. panic on the (K+1)-th confirm send to model a
+  /// coordinator crash after K confirms were already delivered.
   void arm(const std::string& name, FaultAction action, net::NodeId node = kAnyNode,
-           std::uint32_t uses = 1);
+           std::uint32_t uses = 1, std::uint32_t delay_fires = 0);
   void disarm(const std::string& name);
+  /// Disarm `name` only if its current arming targets exactly `node` --
+  /// lets a bounded fault window retract an unfired arming without
+  /// clobbering a later window that re-armed the same point for another
+  /// node.
+  void disarm_if_node(const std::string& name, net::NodeId node);
 
   /// Protocol-side hook.  Returns the armed action (consuming one use) when
   /// `name` is armed for `node`, else kNone.  kPanic additionally invokes
@@ -115,6 +133,7 @@ class FaultPointRegistry {
     FaultAction action = FaultAction::kNone;
     net::NodeId node = kAnyNode;
     std::uint32_t remaining = 1;
+    std::uint32_t delay = 0;  // matching fires to let pass before acting
   };
 
   sim::Simulator* sim_ = nullptr;

@@ -56,6 +56,22 @@ struct Metrics {
   std::uint64_t recovery_failures = 0;
   std::uint64_t log_autocuts = 0;  // checkpoint cuts forced by max_tail_bytes
 
+  // --- cooperative 2PC termination (DESIGN.md §17) ---
+  /// In-doubt prepares resolved to commit by a termination round (a peer or
+  /// the coordinator supplied the decision, or an applied copy proved it).
+  std::uint64_t indoubt_resolved_commit = 0;
+  /// In-doubt prepares resolved to abort: an authoritative abort answer, or
+  /// presumed-abort after a full round of "no decision + coordinator
+  /// restarted into a newer liveness epoch".
+  std::uint64_t indoubt_resolved_abort = 0;
+  /// TxnStatusRequest rounds issued (each round multicasts one query to the
+  /// coordinator and the write-quorum peers, then waits out a backoff).
+  std::uint64_t termination_rounds = 0;
+  /// Confirms dropped as duplicates by the (txn, epoch) applied-set --
+  /// at-least-once retransmission from recovered coordinators and resolving
+  /// peers makes these routine, never double-applied.
+  std::uint64_t confirm_duplicates = 0;
+
   // --- sharded cohorts ---
   /// 2PC vote rounds whose read+write set spanned more than one quorum
   /// cohort (the multicast covered several cohorts' write quorums).

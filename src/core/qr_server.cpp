@@ -2,10 +2,30 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+
+#include "core/backoff.h"
 
 namespace qrdtm::core {
 
+namespace {
+
+/// The node that coordinates `txn`.  Transaction/batch ids are drawn from
+/// TxnRuntime's scope counter, seeded (node + 1) << 40, so the upper bits
+/// name the issuing node.  Returns num_nodes (an invalid id) for ids outside
+/// the scheme (e.g. standalone-rig hand-rolled txn ids).
+net::NodeId coordinator_of(TxnId txn, std::uint32_t num_nodes) {
+  const TxnId hi = txn >> 40;
+  if (hi == 0 || hi > num_nodes) return num_nodes;
+  return static_cast<net::NodeId>(hi - 1);
+}
+
+}  // namespace
+
 QrServer::QrServer(net::RpcEndpoint& rpc) : rpc_(rpc), id_(rpc.id()) {
+  // Distinct deterministic jitter stream per replica for the termination
+  // backoff (independent of the workload's Rng draws).
+  term_rng_ = Rng(0x7e39a1c5u + static_cast<std::uint64_t>(id_) * 0x9e37u);
   // Replies are encoded into pooled buffers: in steady state a replica
   // serves reads and votes without touching the allocator.
   rpc.register_service(msg::kRead,
@@ -65,6 +85,20 @@ QrServer::QrServer(net::RpcEndpoint& rpc) : rpc_(rpc), id_(rpc.id()) {
                          resp.encode_into(w);
                          return std::move(w).take();
                        });
+  // Cooperative termination: both directions are one-way notifies, so a
+  // dead coordinator or peer simply never answers (no RPC timeout to tune).
+  rpc.register_service(
+      msg::kTxnStatusRequest,
+      [this](net::NodeId from, const Bytes& b) -> std::optional<Bytes> {
+        handle_txn_status_request(from, TxnStatusRequest::decode(b));
+        return std::nullopt;  // answered with a kTxnStatusResponse notify
+      });
+  rpc.register_service(
+      msg::kTxnStatusResponse,
+      [this](net::NodeId from, const Bytes& b) -> std::optional<Bytes> {
+        handle_txn_status_response(from, TxnStatusResponse::decode(b));
+        return std::nullopt;  // one-way
+      });
 }
 
 std::uint32_t QrServer::liveness_epoch() const {
@@ -90,7 +124,14 @@ void QrServer::cut_checkpoint() {
 
 std::size_t QrServer::replay_commit_log() {
   store_.clear_all();
-  return log_.replay_into(store_);
+  // A restart forgets the volatile termination bookkeeping (protections are
+  // gone with the store) but rebuilds the confirm applied-set from the log,
+  // so re-driven confirms for outcomes this node already applied in a past
+  // incarnation stay idempotent at the WAL level (replay pairs them).
+  prepared_.clear();
+  term_.clear();
+  outcomes_.clear();
+  return log_.replay_into(store_, &outcomes_);
 }
 
 void QrServer::maybe_autocut() {
@@ -141,14 +182,25 @@ SyncPullResponse QrServer::handle_sync_pull(net::NodeId from,
 
 bool QrServer::check_protected(ObjectId id, TxnId txn) {
   if (!store_.protected_against(id, txn)) return false;
-  if (protection_lease_ > 0 &&
-      store_.expire_protection(id, rpc_.simulator().now(),
-                               protection_lease_)) {
-    // The protector's confirm is overdue by the whole lease: its
-    // coordinator is dead (confirms are one-way and prompt).  Shed the
-    // protection so this object does not stay unwritable forever.
-    ++lease_breaks_;
-    return false;
+  if (protection_lease_ > 0) {
+    const sim::Tick now = rpc_.simulator().now();
+    if (store_.expire_protection(id, now, protection_lease_)) {
+      // The protector's confirm is overdue by the whole lease and the vote
+      // was never made durable here: shedding cannot lose an acknowledged
+      // commit, so free the object for later writers.
+      ++lease_breaks_;
+      return false;
+    }
+    // A *prepared* protection (durable yes-vote) may back an acknowledged
+    // commit whose coordinator died mid-broadcast.  It must not be shed on
+    // a timer; kick off the cooperative termination protocol instead and
+    // keep reporting the object as protected until a decision is found.
+    if (store_.prepared(id) &&
+        store_.lease_expired(id, now, protection_lease_)) {
+      if (const store::ReplicaEntry* e = store_.find(id)) {
+        start_termination(e->protector);
+      }
+    }
   }
   return true;
 }
@@ -309,6 +361,19 @@ VoteResponse QrServer::handle_commit_request(const CommitRequest& req) {
       writes.push_back(store::LoggedWrite{e.id, e.base, 1, e.data});
     }
     if (!writes.empty()) {
+      // The protection is now prepared-backed: only a confirm or a
+      // termination-round decision may release it.  Record the
+      // coordinator's liveness epoch as seen at vote time so a later
+      // termination round can tell "still deciding" from "restarted".
+      for (const store::LoggedWrite& lw : writes) {
+        store_.mark_prepared(lw.id, req.txn);
+      }
+      const net::NodeId coord =
+          coordinator_of(req.txn, rpc_.network().num_nodes());
+      prepared_[req.txn] = PreparedMeta{
+          coord, coord < rpc_.network().num_nodes()
+                     ? rpc_.network().epoch(coord)
+                     : 0};
       log_.append_prepare(req.txn, std::move(writes), liveness_epoch());
       maybe_autocut();
     }
@@ -362,6 +427,17 @@ BatchVoteResponse QrServer::handle_batch_commit_request(
       writes.push_back(store::LoggedWrite{e.id, e.base, e.steps, e.data});
     }
     if (!writes.empty()) {
+      // Same prepared-backing rule as the per-transaction vote: the batch
+      // decision covers the whole batch, keyed by its batch id.
+      for (const store::LoggedWrite& lw : writes) {
+        store_.mark_prepared(lw.id, req.batch);
+      }
+      const net::NodeId coord =
+          coordinator_of(req.batch, rpc_.network().num_nodes());
+      prepared_[req.batch] = PreparedMeta{
+          coord, coord < rpc_.network().num_nodes()
+                     ? rpc_.network().epoch(coord)
+                     : 0};
       log_.append_prepare(req.batch, std::move(writes), liveness_epoch());
       maybe_autocut();
     }
@@ -371,6 +447,20 @@ BatchVoteResponse QrServer::handle_batch_commit_request(
 }
 
 void QrServer::handle_batch_commit_confirm(const BatchCommitConfirm& confirm) {
+  // At-least-once delivery: recovered coordinators and resolving peers
+  // retransmit confirms, so a repeat within the same liveness epoch is
+  // counted and dropped, never double-applied.  A live local prepare
+  // (protection held / pending log entry) marks the confirm as the outcome
+  // of a FRESH 2PC round -- a retried root reuses its id -- so it must be
+  // applied, not deduped against the previous round's outcome.
+  bool live_prepare = log_.find_pending(confirm.batch) != nullptr;
+  for (const BatchWriteEntry& e : confirm.writeset) {
+    if (store_.holds_protection(e.id, confirm.batch)) {
+      live_prepare = true;
+      break;
+    }
+  }
+  if (!live_prepare && confirm_is_duplicate(confirm.batch)) return;
   // Crash (kPanic) or drop (kSkip) exactly at the confirm boundary: the
   // outcome is neither logged nor applied, and the protections stand until
   // the lease sheds them.
@@ -406,9 +496,20 @@ void QrServer::handle_batch_commit_confirm(const BatchCommitConfirm& confirm) {
     }
   }
   store_.drop_txn(confirm.batch);
+  record_outcome(confirm.batch, confirm.commit);
 }
 
 void QrServer::handle_commit_confirm(const CommitConfirm& confirm) {
+  // At-least-once delivery; fresh-round detection as in
+  // handle_batch_commit_confirm (a retried root reuses its txn id).
+  bool live_prepare = log_.find_pending(confirm.txn) != nullptr;
+  for (const CommitWriteEntry& e : confirm.writeset) {
+    if (store_.holds_protection(e.id, confirm.txn)) {
+      live_prepare = true;
+      break;
+    }
+  }
+  if (!live_prepare && confirm_is_duplicate(confirm.txn)) return;
   // Crash (kPanic) or drop (kSkip) exactly at the confirm boundary.
   const FaultAction at_apply = fault(fp::kServerConfirmApply);
   if (at_apply == FaultAction::kSkip || at_apply == FaultAction::kPanic) return;
@@ -440,6 +541,259 @@ void QrServer::handle_commit_confirm(const CommitConfirm& confirm) {
     }
   }
   store_.drop_txn(confirm.txn);
+  record_outcome(confirm.txn, confirm.commit);
+}
+
+bool QrServer::confirm_is_duplicate(TxnId txn) {
+  const auto it = outcomes_.find(txn);
+  if (it == outcomes_.end() || it->second.first != liveness_epoch()) {
+    return false;
+  }
+  ++confirm_duplicates_;
+  if (metrics_ != nullptr) ++metrics_->confirm_duplicates;
+  return true;
+}
+
+void QrServer::record_outcome(TxnId txn, bool commit) {
+  outcomes_[txn] = {liveness_epoch(), commit};
+  prepared_.erase(txn);
+  term_.erase(txn);
+}
+
+void QrServer::start_termination(TxnId txn) {
+  if (term_.find(txn) != term_.end()) return;  // already running
+  const auto pit = prepared_.find(txn);
+  if (pit == prepared_.end()) return;  // no vote metadata (legacy rigs)
+  if (quorums_ == nullptr && pit->second.coordinator >=
+                                 rpc_.network().num_nodes()) {
+    return;  // standalone rig with hand-rolled ids: nobody to ask
+  }
+
+  Termination t;
+  t.coordinator = pit->second.coordinator;
+  t.coord_epoch = pit->second.coord_epoch;
+  // Query targets: the coordinator plus the union of the write quorums of
+  // every locally-prepared object (under sharded cohorts the in-doubt
+  // transaction may span shards; any member of any touched cohort may have
+  // applied the commit).  Sorted + deduped for deterministic send order.
+  if (t.coordinator < rpc_.network().num_nodes()) {
+    t.targets.push_back(t.coordinator);
+  }
+  if (quorums_ != nullptr) {
+    if (const auto* writes = log_.find_pending(txn)) {
+      for (const store::LoggedWrite& lw : *writes) {
+        // Mid-chaos the provider may be unable to form a quorum (too many
+        // members dead or syncing); ask whoever it can name and let the
+        // bounded retry rounds pick up the rest after recoveries.
+        try {
+          for (net::NodeId n : quorums_->write_quorum(id_, lw.id)) {
+            t.targets.push_back(n);
+          }
+        } catch (const quorum::QuorumUnavailable&) {
+        }
+      }
+    }
+  }
+  std::sort(t.targets.begin(), t.targets.end());
+  t.targets.erase(std::unique(t.targets.begin(), t.targets.end()),
+                  t.targets.end());
+  t.targets.erase(std::remove(t.targets.begin(), t.targets.end(), id_),
+                  t.targets.end());
+  if (t.targets.empty()) return;
+
+  term_.emplace(txn, std::move(t));
+  rpc_.simulator().spawn(termination_task(txn));
+}
+
+sim::Task<void> QrServer::termination_task(TxnId txn) {
+  // Bounded rounds: on exhaustion the in-flight state is dropped (the
+  // protection stays!) so the next conflicting access starts a fresh
+  // attempt -- the transaction stays in-doubt rather than guessing.
+  constexpr std::uint32_t kMaxRounds = 4;
+  for (std::uint32_t round = 1; round <= kMaxRounds; ++round) {
+    {
+      const auto it = term_.find(txn);
+      if (it == term_.end()) co_return;  // resolved meanwhile
+      Termination& t = it->second;
+      t.round_no_decision.clear();
+      t.coord_no_decision_newer = false;
+      if (metrics_ != nullptr) ++metrics_->termination_rounds;
+      fault(fp::kTermQuery);
+      TxnStatusRequest req{txn};
+      for (net::NodeId n : t.targets) {
+        Writer w(rpc_.acquire_buffer(msg::kTxnStatusRequest));
+        req.encode_into(w);
+        rpc_.notify(n, msg::kTxnStatusRequest, std::move(w).take());
+      }
+    }
+    co_await rpc_.simulator().delay(termination_timeout_);
+    {
+      const auto it = term_.find(txn);
+      if (it == term_.end()) co_return;  // a response resolved it
+      Termination& t = it->second;
+      // Presumed-abort needs the FULL round to deny knowledge: every
+      // queried peer answered "no decision" AND the coordinator did so from
+      // a newer liveness epoch.  Its restart + empty decision log prove no
+      // confirm ever left it (decisions are durable before the first
+      // confirm), so aborting cannot contradict an acknowledged commit.  A
+      // same-epoch coordinator answer of kUnknown means "still deciding":
+      // wait.  A dead peer never answers: wait (never guess).
+      if (t.coord_no_decision_newer &&
+          t.round_no_decision.size() == t.targets.size()) {
+        resolve_indoubt(txn, false);
+        co_return;
+      }
+    }
+    if (round < kMaxRounds) {
+      co_await rpc_.simulator().delay(draw_backoff_wait(
+          termination_timeout_, termination_timeout_ * 8, round, term_rng_));
+    }
+  }
+  term_.erase(txn);
+}
+
+void QrServer::handle_txn_status_request(net::NodeId from,
+                                         const TxnStatusRequest& req) {
+  TxnStatusResponse resp;
+  resp.txn = req.txn;
+  resp.epoch = liveness_epoch();
+  const auto oit = outcomes_.find(req.txn);
+  if (oit != outcomes_.end()) {
+    // Applied here: an applied commit is proof of a commit decision.
+    resp.status =
+        oit->second.second ? TxnStatus::kCommitted : TxnStatus::kAborted;
+  } else if (const auto verdict = log_.decision_verdict(req.txn)) {
+    // This node coordinated the transaction and holds the durable decision.
+    resp.status = *verdict ? TxnStatus::kCommitted : TxnStatus::kAborted;
+  } else if (log_.find_pending(req.txn) != nullptr) {
+    resp.status = TxnStatus::kPrepared;
+  } else {
+    resp.status = TxnStatus::kUnknown;
+  }
+  Writer w(rpc_.acquire_buffer(msg::kTxnStatusResponse));
+  resp.encode_into(w);
+  rpc_.notify(from, msg::kTxnStatusResponse, std::move(w).take());
+}
+
+void QrServer::handle_txn_status_response(net::NodeId from,
+                                          const TxnStatusResponse& resp) {
+  const auto it = term_.find(resp.txn);
+  if (it == term_.end()) return;  // resolved or never in doubt here
+  Termination& t = it->second;
+  switch (resp.status) {
+    case TxnStatus::kCommitted:
+      resolve_indoubt(resp.txn, true);
+      return;
+    case TxnStatus::kAborted:
+      resolve_indoubt(resp.txn, false);
+      return;
+    case TxnStatus::kPrepared:
+    case TxnStatus::kUnknown:
+      t.round_no_decision.insert(from);
+      // The coordinator answering from a NEWER epoch without a decision --
+      // kUnknown or even kPrepared (it may be a quorum member holding its
+      // own pending prepare) -- proves it restarted before logging one, so
+      // no confirm was ever sent.  Same-epoch kUnknown = still deciding.
+      if (from == t.coordinator && resp.epoch > t.coord_epoch) {
+        t.coord_no_decision_newer = true;
+      }
+      return;
+  }
+}
+
+void QrServer::resolve_indoubt(TxnId txn, bool commit) {
+  // Copy the pending writes FIRST: append_confirm settles the pending entry
+  // in the log, and the writes live only there.
+  std::vector<store::LoggedWrite> writes;
+  if (const auto* pending = log_.find_pending(txn)) writes = *pending;
+  if (durable_log_ && !writes.empty() &&
+      fault(fp::kLogConfirm) != FaultAction::kSkip) {
+    log_.append_confirm(txn, commit, liveness_epoch());
+    maybe_autocut();
+  }
+  bool batch = false;
+  for (const store::LoggedWrite& lw : writes) {
+    if (lw.steps > 1) batch = true;
+    store_.unprotect(lw.id, txn);
+    if (commit) store_.apply(lw.id, lw.base + lw.steps, lw.data);
+  }
+  store_.drop_txn(txn);
+  if (metrics_ != nullptr) {
+    if (commit) {
+      ++metrics_->indoubt_resolved_commit;
+    } else {
+      ++metrics_->indoubt_resolved_abort;
+    }
+  }
+
+  // Retransmit the confirm to the queried peers before forgetting the
+  // termination state: any of them may hold the same in-doubt prepare, and
+  // the original coordinator is gone.  At-least-once is safe -- receivers
+  // dedupe on (txn, epoch) and apply() keeps only strictly-newer versions.
+  // Under sharded cohorts the writeset covers only locally-replicated
+  // objects; cross-cohort peers resolve their own shard by querying us (we
+  // now answer kCommitted/kAborted from the applied-set).
+  const auto it = term_.find(txn);
+  if (it != term_.end() && !writes.empty()) {
+    const net::MsgKind kind =
+        batch ? msg::kBatchCommitConfirm : msg::kCommitConfirm;
+    Bytes encoded;
+    if (batch) {
+      BatchCommitConfirm confirm;
+      confirm.batch = txn;
+      confirm.commit = commit;
+      confirm.writeset.reserve(writes.size());
+      for (const store::LoggedWrite& lw : writes) {
+        confirm.writeset.push_back(
+            BatchWriteEntry{lw.id, lw.base, lw.steps, lw.data});
+      }
+      Writer w(rpc_.acquire_buffer(kind));
+      confirm.encode_into(w);
+      encoded = std::move(w).take();
+    } else {
+      CommitConfirm confirm;
+      confirm.txn = txn;
+      confirm.commit = commit;
+      confirm.writeset.reserve(writes.size());
+      for (const store::LoggedWrite& lw : writes) {
+        confirm.writeset.push_back(CommitWriteEntry{lw.id, lw.base, lw.data});
+      }
+      Writer w(rpc_.acquire_buffer(kind));
+      confirm.encode_into(w);
+      encoded = std::move(w).take();
+    }
+    if (metrics_ != nullptr) {
+      metrics_->commit_messages += it->second.targets.size();
+    }
+    for (net::NodeId n : it->second.targets) {
+      Bytes copy = rpc_.acquire_buffer(kind);
+      copy.assign(encoded.begin(), encoded.end());
+      rpc_.notify(n, kind, std::move(copy));
+    }
+    rpc_.release_buffer(std::move(encoded));
+  }
+  record_outcome(txn, commit);
+}
+
+std::size_t QrServer::redrive_open_decisions() {
+  // Collect first: settle_decision mutates the map we iterate.
+  std::vector<TxnId> txns;
+  txns.reserve(log_.open_decisions().size());
+  for (const auto& [txn, d] : log_.open_decisions()) txns.push_back(txn);
+  for (TxnId txn : txns) {
+    const store::Decision& d = log_.open_decisions().at(txn);
+    const net::MsgKind kind = d.confirm_kind;
+    for (std::uint32_t m : d.members) {
+      Bytes copy = rpc_.acquire_buffer(kind);
+      copy.assign(d.payload.begin(), d.payload.end());
+      rpc_.notify(static_cast<net::NodeId>(m), kind, std::move(copy));
+    }
+    if (metrics_ != nullptr) metrics_->commit_messages += d.members.size();
+    // The broadcast left this (live) node: settle.  A crash during the
+    // sends just re-drives again next restart -- receivers dedupe.
+    log_.settle_decision(txn);
+  }
+  return txns.size();
 }
 
 }  // namespace qrdtm::core

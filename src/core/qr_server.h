@@ -16,21 +16,32 @@
 //
 // Protections carry a coordinator-liveness lease: one held longer than the
 // lease means the coordinator died between vote and confirm (a confirm is
-// one-way and near-immediate), so the replica sheds it lazily on the next
-// conflicting read/vote instead of wedging later writers forever.  The check
-// is pure tick arithmetic on the conflict path only -- chaos-free runs never
-// shed (the default lease far exceeds any legitimate vote->confirm gap) and
-// their event schedule is unchanged.
+// one-way and near-immediate).  Merely-protected entries (no durable
+// yes-vote) are still shed lazily on the next conflicting read/vote.
+// *Prepared* entries -- the protection backs a WAL prepare -- instead run
+// the cooperative termination protocol (DESIGN.md §17): query the
+// coordinator and the write-quorum peers with TxnStatusRequest, propagate
+// any decision found, and presumed-abort only after a full round of "no
+// decision anywhere + coordinator restarted into a newer liveness epoch".
+// The check is pure tick arithmetic on the conflict path only -- chaos-free
+// runs never shed (the default lease far exceeds any legitimate
+// vote->confirm gap) and their event schedule is unchanged.
 #pragma once
 
 #include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/faultpoint.h"
 #include "core/metrics.h"
 #include "core/trace.h"
 #include "core/wire.h"
 #include "net/rpc.h"
 #include "quorum/quorum.h"
+#include "sim/task.h"
 #include "store/commit_log.h"
 #include "store/replica_store.h"
 
@@ -115,6 +126,27 @@ class QrServer {
   /// Number of protections shed by the lease (test observability).
   std::uint64_t lease_breaks() const { return lease_breaks_; }
 
+  /// Round-trip budget for one termination round: queries go out, then the
+  /// replica waits this long for TxnStatusResponse notifies before
+  /// evaluating the presumed-abort rule.  Backoff between rounds draws from
+  /// [timeout/2, ...) via core/backoff.h.
+  void set_termination_timeout(sim::Tick timeout) {
+    termination_timeout_ = timeout;
+  }
+  sim::Tick termination_timeout() const { return termination_timeout_; }
+
+  /// In-doubt transactions currently running a termination round.
+  std::size_t terminations_in_flight() const { return term_.size(); }
+
+  /// Confirms deduplicated by the (txn, epoch) applied-set on this replica.
+  std::uint64_t confirm_duplicates() const { return confirm_duplicates_; }
+
+  /// Re-send the confirms of every unsettled decision in the commit log
+  /// (Cluster::recover_node calls this after replay: a coordinator that
+  /// crashed between decision and broadcast finishes the broadcast in its
+  /// new incarnation).  Returns the number of decisions re-driven.
+  std::size_t redrive_open_decisions();
+
   /// Attach a trace recorder; replica-side read/vote instants are tagged
   /// with the requester's span context from the message envelope (nullptr =
   /// tracing off).
@@ -129,6 +161,28 @@ class QrServer {
   }
 
  private:
+  /// Per-prepared-transaction metadata for cooperative termination: who the
+  /// coordinator is and what its liveness epoch was when this replica voted
+  /// (an epoch bump since then means the coordinator was killed or revived).
+  struct PreparedMeta {
+    net::NodeId coordinator = 0;
+    std::uint32_t coord_epoch = 0;
+  };
+
+  /// In-flight termination state for one in-doubt transaction.
+  struct Termination {
+    net::NodeId coordinator = 0;
+    std::uint32_t coord_epoch = 0;  // epoch recorded at vote time
+    std::vector<net::NodeId> targets;  // coordinator + union WQ peers, no self
+    /// Targets that answered this round without a decision (kUnknown /
+    /// kPrepared).  Presumed-abort needs ALL of them to have answered.
+    std::set<net::NodeId> round_no_decision;
+    /// The coordinator answered without a decision from a NEWER liveness
+    /// epoch: it restarted, and its empty decision log proves no confirm
+    /// ever left it (decisions are logged before the first confirm).
+    bool coord_no_decision_newer = false;
+  };
+
   ReadResponse handle_read(const ReadRequest& req);
   VoteResponse handle_commit_request(const CommitRequest& req);
   void handle_commit_confirm(const CommitConfirm& confirm);
@@ -144,8 +198,32 @@ class QrServer {
   std::optional<ReadResponse> validate(const ReadRequest& req);
 
   /// protected_against with the coordinator-liveness lease applied: an
-  /// expired protection is shed (counted) and reads as unprotected.
+  /// expired merely-protected entry is shed (counted) and reads as
+  /// unprotected; an expired *prepared* entry stays protected and kicks off
+  /// a termination round for its transaction.
   bool check_protected(ObjectId id, TxnId txn);
+
+  /// True when a confirm for (txn) was already applied in this liveness
+  /// epoch; counts the duplicate when so.
+  bool confirm_is_duplicate(TxnId txn);
+  /// Record the applied outcome for (txn) in this liveness epoch.
+  void record_outcome(TxnId txn, bool commit);
+
+  /// Begin cooperative termination for an in-doubt prepared transaction
+  /// (no-op when one is already running or metadata is missing).
+  void start_termination(TxnId txn);
+  /// The driving coroutine: bounded rounds of query -> wait -> evaluate.
+  sim::Task<void> termination_task(TxnId txn);
+  /// Answer a peer's status query from the applied-set, the decision log,
+  /// and the pending prepares -- via a one-way kTxnStatusResponse notify.
+  void handle_txn_status_request(net::NodeId from, const TxnStatusRequest& req);
+  /// Fold a peer's answer into the in-flight termination state; an
+  /// authoritative decision resolves immediately.
+  void handle_txn_status_response(net::NodeId from,
+                                  const TxnStatusResponse& resp);
+  /// Apply the resolved outcome locally (WAL first), then retransmit the
+  /// confirm to the write-quorum peers (at-least-once; they dedupe).
+  void resolve_indoubt(TxnId txn, bool commit);
 
   SyncPullResponse handle_sync_pull(net::NodeId from,
                                     const Bytes& payload) const;
@@ -181,6 +259,21 @@ class QrServer {
   sim::Tick protection_lease_ = 0;
   bool syncing_ = false;
   bool skip_commit_validation_ = false;
+
+  // --- cooperative termination state (DESIGN.md §17) ---
+  sim::Tick termination_timeout_ = sim::msec(100);
+  std::uint64_t confirm_duplicates_ = 0;
+  /// Applied 2PC outcomes, keyed txn -> (liveness epoch, commit): the
+  /// idempotence set that lets confirms be retransmitted at-least-once.
+  /// Rebuilt from the log's confirm records at replay.
+  std::unordered_map<TxnId, std::pair<std::uint32_t, bool>> outcomes_;
+  /// Prepared (yes-voted, WAL'd) transactions awaiting their confirm.
+  std::unordered_map<TxnId, PreparedMeta> prepared_;
+  /// In-doubt transactions with a termination round in flight.
+  std::unordered_map<TxnId, Termination> term_;
+  /// Jitters the between-round backoff; seeded per node so the schedule is
+  /// deterministic and distinct across replicas.
+  Rng term_rng_{1};
 };
 
 }  // namespace qrdtm::core

@@ -8,6 +8,7 @@
 #include "core/backoff.h"
 #include "core/batch.h"
 #include "core/history.h"
+#include "store/commit_log.h"
 
 namespace qrdtm::core {
 
@@ -560,7 +561,19 @@ const std::vector<net::NodeId>& TxnRuntime::cohort_read_quorum(
   CohortQuorum& q = rq_cache_[cohort];
   const std::uint64_t g = quorums_.generation();
   if (q.gen != g) {
-    q.nodes = quorums_.cohort_read_quorum(node(), cohort);
+    // A zombie coroutine (the requester was killed mid-transaction, so the
+    // provider no longer routes under it) turns an unformable quorum into
+    // an infrastructure abort: bounded retry loops absorb it, and the next
+    // cross-epoch send would drop anyway.  A *live* requester keeps the
+    // original contract and sees QuorumUnavailable directly.
+    try {
+      q.nodes = quorums_.cohort_read_quorum(node(), cohort);
+    } catch (const quorum::QuorumUnavailable& e) {
+      if (!rpc_.network().alive(node())) {
+        throw AbortException{AbortTarget::kRoot, 0, 0, e.what()};
+      }
+      throw;
+    }
     q.gen = g;
   }
   return q.nodes;
@@ -574,7 +587,16 @@ const std::vector<net::NodeId>& TxnRuntime::cohort_write_quorum(
   CohortQuorum& q = wq_cache_[cohort];
   const std::uint64_t g = quorums_.generation();
   if (q.gen != g) {
-    q.nodes = quorums_.cohort_write_quorum(node(), cohort);
+    // Same zombie-only infrastructure-abort conversion as
+    // cohort_read_quorum.
+    try {
+      q.nodes = quorums_.cohort_write_quorum(node(), cohort);
+    } catch (const quorum::QuorumUnavailable& e) {
+      if (!rpc_.network().alive(node())) {
+        throw AbortException{AbortTarget::kRoot, 0, 0, e.what()};
+      }
+      throw;
+    }
     q.gen = g;
   }
   return q.nodes;
@@ -641,6 +663,15 @@ sim::Task<bool> TxnRuntime::run_txn_impl(TxnBody body,
       committed = true;
     } catch (AbortException& a) {
       abort = a;
+      aborted = true;
+    } catch (const quorum::QuorumUnavailable& e) {
+      // A live requester that cannot form a quorum mid-chaos: bounded
+      // callers (the fuzz harness, QR-Q batch members) treat it as one
+      // failed attempt and retry after membership heals.  Unbounded
+      // clients keep the raw error -- a permanently lost quorum must
+      // surface, not spin forever (Failures.WholeReadQuorumDead...).
+      if (max_attempts == 0) throw;
+      abort = AbortException{AbortTarget::kRoot, root.scope_id_, 0, e.what()};
       aborted = true;
     }
     if (tracer_ != nullptr) {
@@ -891,15 +922,62 @@ sim::Task<void> TxnRuntime::commit_root(Txn& root) {
   Writer cw(rpc_.acquire_buffer(msg::kCommitConfirm));
   confirm.encode_into(cw);
   Bytes encoded = std::move(cw).take();
+
+  // Durable decision record (DESIGN.md §17): the outcome -- commit AND
+  // abort, so termination rounds get authoritative abort answers too -- is
+  // on the local WAL BEFORE any confirm leaves this node.  A coordinator
+  // restart therefore proves: no decision in the log => no confirm was ever
+  // sent => in-doubt replicas may presumed-abort safely.  Read-only rounds
+  // (empty writeset) take no protections and log nothing.
+  const bool log_decision = local_log_ != nullptr && !confirm.writeset.empty();
+  if (log_decision) {
+    const FaultAction at_decision =
+        faults_ != nullptr ? faults_->fire(fp::kDecisionBeforeLog, node())
+                           : FaultAction::kNone;
+    if (at_decision == FaultAction::kPanic) {
+      // Crashed before the decision was durable: no confirm leaves, the
+      // attempt must not be recorded as a commit (the prepared replicas
+      // will presumed-abort it once the restarted coordinator answers).
+      rpc_.release_buffer(std::move(encoded));
+      throw AbortException{AbortTarget::kRoot, root.scope_id_, 0,
+                           "coordinator crashed before decision log"};
+    }
+    if (at_decision != FaultAction::kSkip) {
+      // kSkip = the --break-termination canary: confirms go out with no
+      // durable decision, so a restart presumed-aborts an acked commit.
+      store::Decision d;
+      d.epoch = rpc_.network().epoch(node());
+      d.commit = all_commit;
+      d.confirm_kind = msg::kCommitConfirm;
+      d.members.assign(wq.begin(), wq.end());
+      d.payload = encoded;
+      local_log_->append_decision(req.txn, std::move(d));
+    }
+  }
+
   metrics_.commit_messages += wq.size();
   if (tracer_ != nullptr) rpc_.set_trace_context(root.scope_id_);
+  bool died_mid_broadcast = false;
   for (net::NodeId n : wq) {
+    // Coordinator crash after a strict subset of the confirms left the node
+    // (arm with delay_fires=K to let K members hear the outcome).  The dead
+    // node's remaining sends are cut at the network, so just keep looping.
+    if (faults_ != nullptr &&
+        faults_->fire(fp::kConfirmPartial, node()) == FaultAction::kPanic) {
+      died_mid_broadcast = true;
+    }
     Bytes copy = rpc_.acquire_buffer(msg::kCommitConfirm);
     copy.assign(encoded.begin(), encoded.end());
     rpc_.notify(n, msg::kCommitConfirm, std::move(copy));
   }
   if (tracer_ != nullptr) rpc_.set_trace_context(0);
   rpc_.release_buffer(std::move(encoded));
+  // The broadcast completed in this incarnation: stop re-driving it.  A
+  // coordinator that died mid-broadcast must NOT settle -- recovery replays
+  // the decision and re-sends (receivers dedupe duplicates).
+  if (log_decision && !died_mid_broadcast) {
+    local_log_->settle_decision(req.txn);
+  }
 
   // Charge the one-way confirm propagation (paper: commit-confirm cost is
   // the distance to the write quorum).  This also keeps the client's next

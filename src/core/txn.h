@@ -43,6 +43,10 @@
 #include "quorum/quorum.h"
 #include "sim/task.h"
 
+namespace qrdtm::store {
+class CommitLog;
+}  // namespace qrdtm::store
+
 namespace qrdtm::core {
 
 class HistoryRecorder;
@@ -398,6 +402,13 @@ class TxnRuntime {
   /// QR-Q batch planner (nullptr unless config.mode == kQueued).
   BatchPlanner* planner() { return planner_.get(); }
 
+  /// Attach the co-located replica's commit log so 2PC decisions are made
+  /// durable before any confirm leaves this node (DESIGN.md §17).  nullptr
+  /// (standalone rigs, durable logging off) = the pre-decision-record
+  /// behaviour: confirms go out with no recovery re-drive.
+  void set_local_log(store::CommitLog* log) { local_log_ = log; }
+  store::CommitLog* local_log() { return local_log_; }
+
  private:
   friend class Txn;
   friend class BatchPlanner;
@@ -457,6 +468,7 @@ class TxnRuntime {
   quorum::QuorumProvider& quorums_;
   Metrics& metrics_;
   std::unique_ptr<BatchPlanner> planner_;  // kQueued only
+  store::CommitLog* local_log_ = nullptr;  // co-located replica's WAL
   FailureDetector* failure_detector_ = nullptr;
   HistoryRecorder* recorder_ = nullptr;
   TraceRecorder* tracer_ = nullptr;

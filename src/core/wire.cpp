@@ -320,6 +320,48 @@ BatchCommitConfirm BatchCommitConfirm::decode(const Bytes& b) {
   return c;
 }
 
+void TxnStatusRequest::encode_into(Writer& w) const {
+  w.reserve(w.size() + 8);
+  w.u64(txn);
+}
+
+Bytes TxnStatusRequest::encode() const {
+  Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+TxnStatusRequest TxnStatusRequest::decode(const Bytes& b) {
+  Reader r(b);
+  TxnStatusRequest req;
+  req.txn = r.u64();
+  r.expect_done();
+  return req;
+}
+
+void TxnStatusResponse::encode_into(Writer& w) const {
+  w.reserve(w.size() + 8 + 1 + 4);
+  w.u64(txn);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u32(epoch);
+}
+
+Bytes TxnStatusResponse::encode() const {
+  Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+TxnStatusResponse TxnStatusResponse::decode(const Bytes& b) {
+  Reader r(b);
+  TxnStatusResponse resp;
+  resp.txn = r.u64();
+  resp.status = static_cast<TxnStatus>(r.u8());
+  resp.epoch = r.u32();
+  r.expect_done();
+  return resp;
+}
+
 void CommitConfirm::encode_into(Writer& w) const {
   w.reserve(w.size() + 8 + 1 + writeset_bytes(writeset));
   w.u64(txn);

@@ -25,6 +25,8 @@ constexpr net::MsgKind kCommitConfirm = 0x0103;  // one-way, commit or abort
 constexpr net::MsgKind kSyncPull = 0x0104;       // recovery anti-entropy
 constexpr net::MsgKind kBatchCommitRequest = 0x0105;  // QR-Q: batch 2PC vote
 constexpr net::MsgKind kBatchCommitConfirm = 0x0106;  // QR-Q: one-way confirm
+constexpr net::MsgKind kTxnStatusRequest = 0x0107;    // termination: one-way
+constexpr net::MsgKind kTxnStatusResponse = 0x0108;   // termination: one-way
 }  // namespace msg
 
 /// One validated object in the requester's data-set.
@@ -208,6 +210,43 @@ struct BatchCommitConfirm {
   Bytes encode() const;
   void encode_into(Writer& w) const;
   static BatchCommitConfirm decode(const Bytes& b);
+};
+
+/// What a peer knows about a transaction's 2PC outcome, in answer to a
+/// TxnStatusRequest during cooperative termination (DESIGN.md §17).
+enum class TxnStatus : std::uint8_t {
+  kUnknown = 0,    // no decision record, no prepare: never heard of it (or
+                   // already settled and garbage-collected)
+  kCommitted = 1,  // applied it, or holds a commit decision / confirm record
+  kAborted = 2,    // holds an abort decision
+  kPrepared = 3    // voted yes and still holds the prepared protection
+};
+
+/// One-way in-doubt query sent by a replica whose prepared protection
+/// outlived its lease: "what happened to txn?".  Sent to the coordinator and
+/// the write-quorum peers; answered with a TxnStatusResponse notify (both
+/// directions are one-way so a dead peer just never answers).
+struct TxnStatusRequest {
+  TxnId txn = 0;
+
+  Bytes encode() const;
+  void encode_into(Writer& w) const;
+  static TxnStatusRequest decode(const Bytes& b);
+};
+
+/// One-way answer to a TxnStatusRequest.  `epoch` is the responder's current
+/// liveness epoch: the inquirer compares a coordinator's epoch against the
+/// epoch it recorded at vote time to distinguish "same incarnation, still
+/// deciding" (wait) from "restarted with no decision on disk" (the
+/// presumed-abort precondition).
+struct TxnStatusResponse {
+  TxnId txn = 0;
+  TxnStatus status = TxnStatus::kUnknown;
+  std::uint32_t epoch = 0;
+
+  Bytes encode() const;
+  void encode_into(Writer& w) const;
+  static TxnStatusResponse decode(const Bytes& b);
 };
 
 /// One-way confirm broadcast to the write quorum after gathering votes.

@@ -13,6 +13,28 @@ namespace {
 constexpr std::uint8_t kApply = 1;
 constexpr std::uint8_t kPrepare = 2;
 constexpr std::uint8_t kConfirm = 3;
+constexpr std::uint8_t kDecision = 4;
+
+void put_decision(Writer& w, TxnId txn, const Decision& d) {
+  w.u32(d.epoch);
+  w.u64(txn);
+  w.boolean(d.commit);
+  w.u16(d.confirm_kind);
+  encode_vec(w, d.members, [](Writer& w2, std::uint32_t n) { w2.u32(n); });
+  w.blob(d.payload);
+}
+
+std::pair<TxnId, Decision> get_decision(Reader& r) {
+  Decision d;
+  d.epoch = r.u32();
+  const TxnId txn = r.u64();
+  d.commit = r.boolean();
+  d.confirm_kind = r.u16();
+  d.members =
+      decode_vec<std::uint32_t>(r, [](Reader& r2) { return r2.u32(); });
+  d.payload = r.blob();
+  return {txn, std::move(d)};
+}
 
 void put_write(Writer& w, const LoggedWrite& lw) {
   w.u64(lw.id);
@@ -83,6 +105,32 @@ void CommitLog::append_confirm(TxnId txn, bool commit, std::uint32_t epoch) {
   pending_.erase(txn);
 }
 
+void CommitLog::append_decision(TxnId txn, Decision d) {
+  Writer w;
+  w.reserve(1 + 4 + 8 + 1 + 2 + 4 + d.members.size() * 4 + 4 +
+            d.payload.size());
+  w.u8(kDecision);
+  // put_decision leads with the epoch, matching the other records' layout.
+  put_decision(w, txn, d);
+  frame(tail_, w);
+  ++tail_records_;
+  verdicts_[txn] = d.commit;
+  decisions_[txn] = std::move(d);
+}
+
+void CommitLog::settle_decision(TxnId txn) { decisions_.erase(txn); }
+
+std::optional<bool> CommitLog::decision_verdict(TxnId txn) const {
+  auto it = verdicts_.find(txn);
+  if (it == verdicts_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<LoggedWrite>* CommitLog::find_pending(TxnId txn) const {
+  auto it = pending_.find(txn);
+  return it == pending_.end() ? nullptr : &it->second.writes;
+}
+
 void CommitLog::cut(const ReplicaStore& store, std::uint32_t epoch,
                     bool carry_in_flight) {
   // Snapshot the committed image, ids ascending (the store map is
@@ -128,6 +176,14 @@ void CommitLog::cut(const ReplicaStore& store, std::uint32_t epoch,
     w.u32(0);
   }
 
+  // Carry the unsettled coordinator decisions: a decision whose confirm
+  // broadcast has not completed must survive the cut, or a restart after
+  // the cut could presumed-abort a transaction whose confirms were already
+  // partially delivered.  decisions_ is a std::map, so iteration is already
+  // txn-ordered (deterministic disk bytes).
+  w.u32(static_cast<std::uint32_t>(decisions_.size()));
+  for (const auto& [txn, d] : decisions_) put_decision(w, txn, d);
+
   image_ = std::move(w).take();
   tail_.clear();
   tail_records_ = 0;
@@ -135,7 +191,10 @@ void CommitLog::cut(const ReplicaStore& store, std::uint32_t epoch,
   ++cuts_;
 }
 
-std::size_t CommitLog::replay_into(ReplicaStore& store) const {
+std::size_t CommitLog::replay_into(
+    ReplicaStore& store,
+    std::unordered_map<TxnId, std::pair<std::uint32_t, bool>>* outcomes)
+    const {
   std::size_t applied = 0;
   std::unordered_map<TxnId, Pending> pending;
 
@@ -159,6 +218,14 @@ std::size_t CommitLog::replay_into(ReplicaStore& store) const {
         const TxnId txn = r.u64();
         p.writes = decode_vec<LoggedWrite>(r, get_write);
         pending[txn] = std::move(p);
+      }
+      // Carried decisions (see cut()).  Nothing to apply here -- the live
+      // decisions_/verdicts_ members survive with the log object; parsing
+      // keeps the image walk aligned and validates the bytes.  Images cut
+      // before the decisions section existed simply end here.
+      if (r.remaining() > 0) {
+        const std::uint32_t ndec = r.u32();
+        for (std::uint32_t i = 0; i < ndec; ++i) get_decision(r);
       }
     } catch (const SerdeError&) {
       // A corrupt image voids the whole log: the tail's confirms would
@@ -212,9 +279,16 @@ std::size_t CommitLog::replay_into(ReplicaStore& store) const {
               }
             }
             pending.erase(it);
+            if (outcomes != nullptr) (*outcomes)[txn] = {epoch, commit};
           }
           break;
         }
+        case kDecision:
+          // Coordinator decision: nothing to apply to the store (its own
+          // confirm record, if it is a quorum member, does that).  The
+          // decisions_/verdicts_ members survive with the log object and
+          // drive the re-delivery (Cluster::recover_node).
+          break;
         default:
           break;  // unknown record type: skip (forward compatibility)
       }
@@ -223,8 +297,9 @@ std::size_t CommitLog::replay_into(ReplicaStore& store) const {
     }
   }
   // Whatever is still pending is in-doubt: the crash landed between this
-  // node's vote and the coordinator's confirm.  Dropped -- if the
-  // transaction committed elsewhere, the delta pull delivers the version.
+  // node's vote and the coordinator's confirm.  Not applied here -- the
+  // termination protocol (DESIGN.md §17) resolves it once the lease runs
+  // out, and a commit resolved elsewhere also arrives via the delta pull.
   return applied;
 }
 
@@ -232,6 +307,8 @@ void CommitLog::clear() {
   image_.clear();
   tail_.clear();
   pending_.clear();
+  decisions_.clear();
+  verdicts_.clear();
   high_version_ = 0;
   tail_records_ = 0;
   cuts_ = 0;

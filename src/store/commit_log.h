@@ -37,13 +37,22 @@
 //      the SAME liveness epoch -- a prepare from incarnation e can only be
 //      confirmed in incarnation e (the network drops cross-epoch traffic),
 //      so a mismatched pair means a stale record, not a commit;
-//   3. prepares still pending at the end are in-doubt: dropped.  The
-//      committed version (if any) arrives through the delta pull.
+//   3. prepares still pending at the end are in-doubt: left for the
+//      cooperative termination protocol (DESIGN.md §17) to resolve -- a
+//      commit decided elsewhere also arrives through the delta pull.
 // Replay only ever calls ReplicaStore::apply, so it is idempotent.
+//
+// Coordinator decisions (PR 10): before any confirm leaves the node, the
+// coordinator appends a decision record {txn, commit|abort, encoded confirm,
+// members}.  Unsettled decisions are carried across cuts and re-driven after
+// a restart (at-least-once delivery; receivers dedupe on (txn, epoch)).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -61,6 +70,21 @@ struct LoggedWrite {
   Bytes data;
 };
 
+/// A coordinator's durable 2PC decision (DESIGN.md §17): written after the
+/// votes resolve and BEFORE any confirm leaves the node.  `payload` is the
+/// raw encoded confirm (CommitConfirm or BatchCommitConfirm, named by
+/// `confirm_kind`), so re-driving after a restart is pure retransmission to
+/// `members`.  The invariant this buys: if a restarted coordinator finds no
+/// decision for txn in its log, no confirm was ever sent, so presumed-abort
+/// by in-doubt replicas can never contradict an acknowledged commit.
+struct Decision {
+  std::uint32_t epoch = 0;
+  bool commit = false;
+  std::uint16_t confirm_kind = 0;
+  std::vector<std::uint32_t> members;  // write-quorum nodes to (re-)notify
+  Bytes payload;                       // encoded confirm message
+};
+
 class CommitLog {
  public:
   /// Append a direct install (setup seed or recovery-delta entry made
@@ -75,6 +99,34 @@ class CommitLog {
   /// Append the one-way 2PC outcome for `txn`.
   void append_confirm(TxnId txn, bool commit, std::uint32_t epoch);
 
+  /// Coordinator side: durably record the 2PC decision for `txn` before any
+  /// confirm is sent.  The decision stays "open" (returned by
+  /// open_decisions(), carried across checkpoint cuts) until
+  /// settle_decision() marks the confirm broadcast complete.
+  void append_decision(TxnId txn, Decision d);
+
+  /// The confirm broadcast for `txn` completed in this incarnation; stop
+  /// re-driving it.  No record is appended: a crash between the broadcast
+  /// and the settle merely re-drives the confirms at-least-once, which the
+  /// (txn, epoch) applied-set on the receivers absorbs.
+  void settle_decision(TxnId txn);
+
+  /// Decisions whose confirm broadcast has not been settled -- what a
+  /// restarted coordinator must re-drive.  Ordered by txn id so re-delivery
+  /// is deterministic.
+  const std::map<TxnId, Decision>& open_decisions() const {
+    return decisions_;
+  }
+
+  /// The recorded verdict for `txn`: true = commit, false = abort, nullopt =
+  /// this node never logged a decision for it.  Retained after settling --
+  /// termination rounds may ask about long-finished transactions.
+  std::optional<bool> decision_verdict(TxnId txn) const;
+
+  /// The in-flight (prepared, unconfirmed) writes of `txn`, or nullptr.
+  /// A replica resolving an in-doubt transaction to commit applies these.
+  const std::vector<LoggedWrite>* find_pending(TxnId txn) const;
+
   /// Checkpoint cut: replace the image with a snapshot of `store`, carry
   /// the in-flight prepares forward (unless `carry_in_flight` is false --
   /// the Greengage bug), and discard the record tail.
@@ -84,7 +136,13 @@ class CommitLog {
   /// Rebuild `store` from the image + tail per the replay rules above.
   /// Returns the number of apply operations performed on the store.  A torn
   /// trailing record is dropped; a corrupt image voids the whole log.
-  std::size_t replay_into(ReplicaStore& store) const;
+  /// When `outcomes` is non-null, every honoured confirm record is also
+  /// recorded there as txn -> (epoch, commit) so the server can rebuild its
+  /// idempotence applied-set across restarts.
+  std::size_t replay_into(
+      ReplicaStore& store,
+      std::unordered_map<TxnId, std::pair<std::uint32_t, bool>>* outcomes =
+          nullptr) const;
 
   // ----- observability ----------------------------------------------------
 
@@ -116,11 +174,21 @@ class CommitLog {
     std::vector<LoggedWrite> writes;
   };
 
-  Bytes image_;  // checkpoint snapshot: objects + carried prepares
+  Bytes image_;  // checkpoint snapshot: objects + carried prepares/decisions
   Bytes tail_;   // length-prefixed records appended since the cut
   // In-flight prepares, maintained at append time so cut() can carry them.
   // Derived state: a replay of the durable bytes reconstructs it.
   std::unordered_map<TxnId, Pending> pending_;
+  // Unsettled coordinator decisions (append_decision without a matching
+  // settle_decision), carried across cuts like pending_.
+  std::map<TxnId, Decision> decisions_;
+  // Every verdict ever logged here, kept after settling so termination
+  // queries about old transactions still get an authoritative answer.
+  // In-memory only and never carried in the cut image: a fully-settled
+  // transaction has no live in-doubt holder left to ask about it, so
+  // rebuilding the map from the open decisions after a crash is sufficient
+  // -- and the cut image stays bounded by the store size.
+  std::unordered_map<TxnId, bool> verdicts_;
   Version high_version_ = 0;
   std::uint64_t tail_records_ = 0;
   std::uint64_t cuts_ = 0;

@@ -60,17 +60,40 @@ void ReplicaStore::unprotect(ObjectId id, TxnId txn) {
   if (e && e->is_protected && e->protector == txn) {
     e->is_protected = false;
     e->protector = 0;
+    e->prepared = false;
   }
+}
+
+void ReplicaStore::mark_prepared(ObjectId id, TxnId txn) {
+  ReplicaEntry* e = find_mut(id);
+  if (e && e->is_protected && e->protector == txn) e->prepared = true;
+}
+
+bool ReplicaStore::holds_protection(ObjectId id, TxnId txn) const {
+  const ReplicaEntry* e = find(id);
+  return e && e->is_protected && e->protector == txn;
+}
+
+bool ReplicaStore::prepared(ObjectId id) const {
+  const ReplicaEntry* e = find(id);
+  return e && e->is_protected && e->prepared;
 }
 
 bool ReplicaStore::expire_protection(ObjectId id, std::uint64_t now,
                                      std::uint64_t lease) {
   ReplicaEntry* e = find_mut(id);
   if (!e || !e->is_protected) return false;
+  if (e->prepared) return false;  // yes-voted: termination round territory
   if (now < e->protect_tick + lease) return false;
   e->is_protected = false;
   e->protector = 0;
   return true;
+}
+
+bool ReplicaStore::lease_expired(ObjectId id, std::uint64_t now,
+                                 std::uint64_t lease) const {
+  const ReplicaEntry* e = find(id);
+  return e && e->is_protected && now >= e->protect_tick + lease;
 }
 
 void ReplicaStore::clear_volatile() {
@@ -80,6 +103,7 @@ void ReplicaStore::clear_volatile() {
     e.is_protected = false;
     e.protector = 0;
     e.protect_tick = 0;
+    e.prepared = false;
     e.pr.clear();
     e.pw.clear();
   }

@@ -33,6 +33,11 @@ struct ReplicaEntry {
   /// Simulation tick when the current protection was taken; the coordinator-
   /// liveness lease (QrServer) sheds protections older than the lease.
   std::uint64_t protect_tick = 0;
+  /// The protection backs a yes-vote with a durable WAL prepare: the replica
+  /// promised to commit.  A lease-expired *prepared* protection must run the
+  /// cooperative termination protocol (DESIGN.md §17) instead of being shed
+  /// silently -- shedding it could lose an acknowledged commit.
+  bool prepared = false;
   std::set<TxnId> pr;  // potential readers
   std::set<TxnId> pw;  // potential writers
 };
@@ -66,10 +71,29 @@ class ReplicaStore {
   /// competing transaction re-protected the object).
   void unprotect(ObjectId id, TxnId txn);
 
+  /// Mark the protection on `id` held by `txn` as backed by a durable
+  /// prepare (yes-vote).  No-op if `txn` does not hold the protection.
+  void mark_prepared(ObjectId id, TxnId txn);
+
+  /// True when `id` is currently protected BY `txn` (not merely against
+  /// it).  Confirm deduplication uses this to tell a fresh 2PC round of a
+  /// retried root (live protection -> must apply) from a retransmitted
+  /// confirm of an already-settled round (no protection -> drop).
+  bool holds_protection(ObjectId id, TxnId txn) const;
+
+  /// True when `id` is protected AND the protection is prepared-backed.
+  bool prepared(ObjectId id) const;
+
   /// Shed the protection on `id` iff it has been held for at least `lease`
   /// ticks -- the coordinator is presumed dead (its confirm would have
-  /// arrived long ago).  Returns true when a protection was shed.
+  /// arrived long ago).  Returns true when a protection was shed.  Refuses
+  /// (returns false) for *prepared* protections: those carry a yes-vote and
+  /// may only be released by a confirm or a termination-round decision.
   bool expire_protection(ObjectId id, std::uint64_t now, std::uint64_t lease);
+
+  /// True when `id` holds a protection whose lease has run out (prepared or
+  /// not) -- the trigger for a termination round on prepared entries.
+  bool lease_expired(ObjectId id, std::uint64_t now, std::uint64_t lease) const;
 
   /// Wipe all volatile 2PC state (protections, PR/PW lists) while keeping
   /// committed versions.  Models a process restart: the protocol's in-flight

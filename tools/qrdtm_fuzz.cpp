@@ -20,8 +20,11 @@
 //   $ qrdtm_fuzz --break-validation       # prove the checker catches a
 //                                         # protocol bug (exit 0 iff caught)
 //   $ qrdtm_fuzz --sched-base 4 --schedules 1   # torn-checkpoint flavor
+//   $ qrdtm_fuzz --sched-base 5 --schedules 1   # orphan-2pc flavor
 //   $ qrdtm_fuzz --break-recovery         # prove the checker catches the
 //                                         # Greengage torn-checkpoint bug
+//   $ qrdtm_fuzz --break-termination      # prove the checker catches a
+//                                         # skipped 2PC decision record
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -112,9 +115,15 @@ std::string combo_name(const ComboSpec& c) {
 //   4 -- torn-checkpoint: flavor-3 churn plus (QR only) commit-log
 //        checkpoint cuts scattered over the horizon, so cuts race
 //        in-flight 2PC prepares and recoveries replay across cut
-//        boundaries.
+//        boundaries;
+//   5 -- orphan-2pc: flavor-4 faults plus (QR only) coordinator crashes
+//        steered into the vote->confirm window (fp::kDecisionBeforeLog /
+//        fp::kConfirmPartial armed kPanic on client nodes), leaving
+//        prepared protections in-doubt until the cooperative termination
+//        protocol or the restarted coordinator's decision re-drive
+//        resolves them.
 // TFA is single-copy and DecentSTM requires full replica-group votes, so
-// neither tolerates kills by design -- for them flavors 2-4 keep the
+// neither tolerates kills by design -- for them flavors 2-5 keep the
 // network faults but never kill (and have no commit log to cut).
 core::FaultSchedule make_schedule(const ComboSpec& c) {
   if (c.sched == 0) return {};
@@ -158,6 +167,19 @@ core::FaultSchedule make_schedule(const ComboSpec& c) {
     // client-side replicas too, and a cut racing a prepare is interesting
     // wherever the prepare lands.
     opts.checkpoint_cuts = 6;
+  }
+  if (c.sched >= 5 && c.protocol == "qr") {
+    // Orphan-2PC: crash coordinators (= client nodes 0..3) exactly inside
+    // their vote->confirm window via steered fault points, then restart
+    // them.  The in-doubt prepares left on the write quorum must be
+    // resolved by termination rounds or the recovered coordinator's
+    // decision re-drive -- never by guessing.
+    opts.orphan_windows = 2;
+    for (std::uint32_t n = 0; n < kClients; ++n) {
+      opts.orphan_candidates.push_back(static_cast<net::NodeId>(n));
+    }
+    opts.orphan_recover_after = sim::msec(600);
+    opts.orphan_recover_jitter = sim::msec(200);
   }
   return core::FaultSchedule::generate(c.seed * 1000003 + c.sched, kNumNodes,
                                        opts);
@@ -613,6 +635,76 @@ bool run_torn_recovery(std::uint64_t seed, bool broken, std::string* report) {
   return false;
 }
 
+/// --break-termination canary: crash a coordinator on its FIRST confirm
+/// send (fp::kConfirmPartial kPanic, delay 0), so the client's commit is
+/// acknowledged but no write-quorum member ever hears the outcome.  In the
+/// control run the decision record is durable before the crash: the
+/// restarted coordinator replays it and re-drives the confirms, every
+/// replica applies, and the certified final state is reachable.  With
+/// `broken` the decision record is skipped (fp::kDecisionBeforeLog kSkip --
+/// the bug the decision-before-confirm ordering exists to prevent), so the
+/// restart finds nothing to re-drive, the acknowledged commit never reaches
+/// a single replica, and the replica-divergence check must say so.
+/// Returns true iff a violation was reported (into *report).
+bool run_orphan_termination(std::uint64_t seed, bool broken,
+                            std::string* report) {
+  core::ClusterConfig cfg;
+  cfg.num_nodes = 7;
+  cfg.quorum = core::QuorumKind::kMajority;
+  cfg.seed = seed;
+  core::Cluster cluster(cfg);
+  core::HistoryRecorder recorder;
+  cluster.set_history_recorder(&recorder);
+  const core::ObjectId obj = cluster.seed_new_object(apps::enc_i64(0));
+  FaultPointRegistry& faults = cluster.fault_points();
+
+  if (broken) {
+    faults.arm(fp::kDecisionBeforeLog, FaultAction::kSkip, /*node=*/0);
+  }
+  faults.arm(fp::kConfirmPartial, FaultAction::kPanic, /*node=*/0,
+             /*uses=*/1, /*delay_fires=*/0);
+  bool committed = false;
+  cluster.simulator().spawn(torn_txn(&cluster, obj, &committed));
+  cluster.run_to_completion();
+  if (!committed) {
+    *report = "orphan-2pc staging failed: steered commit was not acked";
+    return false;
+  }
+
+  // Restart the coordinator: replay + decision re-drive (control) vs an
+  // empty decision log (broken).
+  cluster.recover_node(0);
+  cluster.run_to_completion();
+
+  const core::CheckResult cr =
+      core::check_history(recorder, core::CheckLevel::kSerializable);
+  if (!cr.ok) {
+    *report = cr.report;
+    return true;
+  }
+  for (const auto& [id, fin] : cr.final_state) {
+    core::Version best = 0;
+    for (std::uint32_t n = 0; n < cfg.num_nodes; ++n) {
+      const store::ReplicaEntry* e =
+          cluster.server(static_cast<net::NodeId>(n)).store().find(id);
+      if (e != nullptr && e->version > best) best = e->version;
+    }
+    if (best != fin.version) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "VIOLATION (replica divergence): o=%llu newest live "
+                    "replica has v=%llu, certified final state is v=%llu",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(best),
+                    static_cast<unsigned long long>(fin.version));
+      *report = buf;
+      return true;
+    }
+  }
+  *report = "no violation";
+  return false;
+}
+
 // --------------------------------------------------------------- driver ---
 
 struct Options {
@@ -630,6 +722,7 @@ struct Options {
   std::vector<std::string> apps = {"bank", "vacation"};
   bool break_validation = false;
   bool break_recovery = false;
+  bool break_termination = false;
   std::uint32_t shards = 0;  // qr only: sharded cohorts with N shards
   std::string repro;  // proto:mode:app:seed:sched
 };
@@ -661,7 +754,13 @@ void usage() {
       "  --break-recovery    steer the Greengage torn-checkpoint race with\n"
       "                      the carry and the anti-entropy pull disabled;\n"
       "                      the control run must certify and the broken\n"
-      "                      run must be caught; exit 0 iff both hold\n");
+      "                      run must be caught; exit 0 iff both hold\n"
+      "  --break-termination steer a coordinator crash into the confirm\n"
+      "                      broadcast with the decision record skipped, so\n"
+      "                      an acknowledged commit reaches no replica; the\n"
+      "                      control run (decision logged + re-driven) must\n"
+      "                      certify and the broken run must be caught;\n"
+      "                      exit 0 iff both hold\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s, char sep = ',') {
@@ -704,6 +803,10 @@ bool parse(int argc, char** argv, Options& opt) {
     }
     if (flag == "--break-recovery") {
       opt.break_recovery = true;
+      continue;
+    }
+    if (flag == "--break-termination") {
+      opt.break_termination = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -862,6 +965,45 @@ int main(int argc, char** argv) {
     } else {
       std::printf("fuzz: ERROR -- recovery broken but no violation detected "
                   "(%s)\n",
+                  report.c_str());
+    }
+    return control_ok && caught ? 0 : 1;
+  } else if (opt.break_termination) {
+    // Steered canary for the decision-before-confirm ordering.  Control:
+    // crash after the decision record, the restart re-drives the confirms,
+    // the acked commit survives.  Broken: same crash with the decision
+    // record skipped -- the acked commit reaches no replica and the
+    // divergence check must catch it.
+    bool control_ok = true;
+    std::string report;
+    for (std::uint32_t s = 0; s < (opt.seeds < 2 ? opt.seeds : 2); ++s) {
+      if (run_orphan_termination(opt.seed_base + s, /*broken=*/false,
+                                 &report)) {
+        std::printf("fuzz: ERROR -- control orphan-termination run seed=%llu "
+                    "reported a violation:\n  %s\n",
+                    static_cast<unsigned long long>(opt.seed_base + s),
+                    report.c_str());
+        control_ok = false;
+      }
+    }
+    bool caught = false;
+    std::uint64_t caught_seed = 0;
+    const std::uint32_t seeds = opt.seeds < 4 ? opt.seeds : 4;
+    for (std::uint32_t s = 0; s < seeds && !caught; ++s) {
+      if (run_orphan_termination(opt.seed_base + s, /*broken=*/true,
+                                 &report)) {
+        caught = true;
+        caught_seed = opt.seed_base + s;
+      }
+    }
+    if (caught) {
+      std::printf("fuzz: checker caught the skipped-decision-record bug "
+                  "(seed=%llu)\n  %s\n",
+                  static_cast<unsigned long long>(caught_seed),
+                  report.c_str());
+    } else {
+      std::printf("fuzz: ERROR -- termination broken but no violation "
+                  "detected (%s)\n",
                   report.c_str());
     }
     return control_ok && caught ? 0 : 1;
